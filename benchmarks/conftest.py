@@ -1,0 +1,40 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered table is printed (run with ``-s`` to see it live) and archived
+under ``benchmarks/output/`` so ``bench_output.txt`` plus the artifacts
+form a complete reproduction record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a table and archive it under benchmarks/output/<name>.txt."""
+
+    def _emit(name: str, *tables) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(str(t) for t in tables) + "\n"
+        with capsys.disabled():
+            print()
+            print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text)
+
+    return _emit
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_instances():
+    """Build the always-enabled instances once up front so per-bench
+    timings measure the statistics computation, not mesh construction."""
+    from repro.mesh.instances import INSTANCES, instance_names
+
+    for name in instance_names(enabled_only=True):
+        INSTANCES[name].build()

@@ -1,0 +1,78 @@
+"""Ablation bench: stuffing vs Delaunay mesh construction.
+
+Quantifies the substitution decision documented in DESIGN.md: Qhull's
+Delaunay degrades badly on strongly graded point sets, while the
+conforming octree stuffing is linear-time — and the two produce meshes
+with equivalent architectural statistics.
+"""
+
+import pytest
+
+from repro.mesh.generator import generate_mesh
+from repro.stats import smvp_statistics
+from repro.tables.render import Table
+from repro.velocity.basin import default_san_fernando_like_model
+
+#: Demo scale keeps the Delaunay side fast enough to benchmark.
+PERIOD = 25.0
+PPW = 1.1111
+
+
+@pytest.mark.parametrize("method", ["stuffing", "delaunay"])
+def test_mesher_speed(benchmark, method):
+    model = default_san_fernando_like_model()
+    mesh, _ = benchmark.pedantic(
+        lambda: generate_mesh(
+            model, period=PERIOD, method=method, points_per_wavelength=PPW
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    mesh.validate()
+
+
+def test_ablation_mesher(emit):
+    model = default_san_fernando_like_model()
+    table = Table(
+        title="Ablation: mesh construction method (demo scale)",
+        headers=[
+            "method",
+            "nodes",
+            "elements",
+            "edges",
+            "mean degree",
+            "C_max@16",
+            "B_max@16",
+            "F/C@16",
+        ],
+    )
+    stats_by_method = {}
+    for method in ("stuffing", "delaunay"):
+        mesh, _ = generate_mesh(
+            model, period=PERIOD, method=method, points_per_wavelength=PPW
+        )
+        stats = smvp_statistics(mesh, num_parts=16)
+        stats_by_method[method] = (mesh, stats)
+        table.add_row(
+            method,
+            mesh.num_nodes,
+            mesh.num_elements,
+            mesh.num_edges,
+            round(float(mesh.node_degrees.mean()), 1),
+            stats.c_max,
+            stats.b_max,
+            round(stats.f_over_c, 1),
+        )
+    table.add_note(
+        "both methods yield unstructured meshes with equivalent "
+        "communication character; stuffing scales to sf1e, Qhull does not"
+    )
+    emit("ablation_mesher", table)
+
+    stuff_mesh, stuff_stats = stats_by_method["stuffing"]
+    del_mesh, del_stats = stats_by_method["delaunay"]
+    # Same order of magnitude in every architectural statistic.
+    assert 0.3 < stuff_stats.c_max / del_stats.c_max < 3.0
+    assert 0.3 < stuff_stats.f_over_c / del_stats.f_over_c < 3.0
+    assert 10 < stuff_mesh.node_degrees.mean() < 20
+    assert 10 < del_mesh.node_degrees.mean() < 20

@@ -1,0 +1,78 @@
+"""Ablation bench: partitioner comparison.
+
+The paper relies on the partitioner doing "an excellent job of
+distributing computation evenly" and a good job minimizing shared
+nodes.  This bench compares every implemented partitioner on those
+terms (and on the model quantities C_max/B_max) at sf10e/32.
+"""
+
+import pytest
+
+from repro.mesh.instances import get_instance
+from repro.partition import (
+    PARTITIONERS,
+    partition_mesh,
+    partition_metrics,
+    register_all,
+    smooth_partition,
+)
+from repro.stats import smvp_statistics
+from repro.tables.render import Table
+
+register_all()
+METHODS = sorted(PARTITIONERS)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_partition_speed(benchmark, method):
+    mesh, _ = get_instance("sf10e").build()
+    part = benchmark.pedantic(
+        lambda: partition_mesh(mesh, 32, method=method, seed=0),
+        rounds=2,
+        iterations=1,
+    )
+    assert part.imbalance() < 1.01
+
+
+def test_ablation_partitioners(emit):
+    mesh, _ = get_instance("sf10e").build()
+    table = Table(
+        title="Ablation: partitioners on sf10e/32 (lower C_max/shared is better)",
+        headers=[
+            "method",
+            "imbalance",
+            "shared nodes",
+            "replication",
+            "cut faces",
+            "C_max",
+            "B_max",
+            "F/C",
+            "beta",
+        ],
+    )
+    shared_by_method = {}
+    for method in METHODS:
+        base = partition_mesh(mesh, 32, method=method, seed=0)
+        for part in (base, smooth_partition(mesh, base)):
+            metrics = partition_metrics(mesh, part)
+            stats = smvp_statistics(mesh, partition=part)
+            shared_by_method[part.method] = metrics.shared_nodes
+            table.add_row(
+                part.method,
+                round(metrics.imbalance, 3),
+                metrics.shared_nodes,
+                round(metrics.replication, 3),
+                metrics.cut_faces,
+                stats.c_max,
+                stats.b_max,
+                round(stats.f_over_c, 1),
+                round(stats.beta, 2),
+            )
+    table.add_note("random is the no-locality baseline the others must beat")
+    table.add_note("+smooth rows add the greedy boundary refinement pass")
+    emit("ablation_partitioners", table)
+    for method in METHODS:
+        if method != "random":
+            assert shared_by_method[method] < 0.7 * shared_by_method["random"]
+        # Smoothing never hurts the shared-node count.
+        assert shared_by_method[f"{method}+smooth"] <= shared_by_method[method]

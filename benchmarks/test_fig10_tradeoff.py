@@ -1,0 +1,37 @@
+"""Figure 10 bench: latency vs burst-bandwidth tradeoff for sf2/128."""
+
+import pytest
+
+from repro.model import FUTURE_200MFLOPS, ModelInputs
+from repro.model.lowlevel import (
+    MAXIMAL_BLOCKS,
+    four_word_blocks,
+    latency_for_tradeoff,
+    tradeoff_curve,
+)
+from repro.tables.fig10 import table_fig10a, table_fig10b
+
+
+def test_fig10_tradeoff(benchmark, emit):
+    inputs = ModelInputs.from_paper("sf2", 128)
+
+    def both_panels():
+        return (
+            tradeoff_curve(inputs, 0.9, FUTURE_200MFLOPS, MAXIMAL_BLOCKS),
+            tradeoff_curve(inputs, 0.9, FUTURE_200MFLOPS, four_word_blocks()),
+        )
+
+    maximal, four = benchmark.pedantic(both_panels, rounds=3, iterations=1)
+    emit("fig10_tradeoff", table_fig10a(), table_fig10b())
+    # The figure's headline: latency matters.  Even at infinite burst
+    # bandwidth, maximal blocks demand single-digit microseconds and
+    # cache-line blocks ~100 ns at E=0.9.
+    tl_max = latency_for_tradeoff(inputs, 0.9, FUTURE_200MFLOPS, 0.0)
+    tl_4w = latency_for_tradeoff(
+        inputs, 0.9, FUTURE_200MFLOPS, 0.0, four_word_blocks()
+    )
+    assert tl_max == pytest.approx(9.3e-6, rel=0.02)
+    assert tl_4w == pytest.approx(115e-9, rel=0.02)
+    # Every feasible point on each curve is monotone in bandwidth.
+    assert [t for _, t in maximal] == sorted(t for _, t in maximal)
+    assert [t for _, t in four] == sorted(t for _, t in four)

@@ -1,0 +1,27 @@
+"""Figure 11 bench: half-bandwidth design targets for the sf2 SMVPs."""
+
+import pytest
+
+from repro.tables.fig11 import compute_fig11, table_fig11
+
+
+def test_fig11_half_bandwidth(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: compute_fig11("paper"), rounds=3, iterations=1
+    )
+    emit("fig11_half_bandwidth", table_fig11("paper"))
+    # 2 modes x 2 machines x 3 efficiencies x 6 subdomain counts.
+    assert len(points) == 72
+    burst = [p.burst_bandwidth_bytes for p in points]
+    # Paper extremes: easiest ~3 MB/s burst; hardest ~600 MB/s.
+    assert min(burst) == pytest.approx(3.6e6, rel=0.05)
+    assert max(burst) == pytest.approx(559e6, rel=0.05)
+    hard_4w = [
+        p
+        for p in points
+        if p.mode == "4-word"
+        and p.efficiency == 0.9
+        and p.machine == "future-200MFLOPS"
+        and p.label == "sf2/128"
+    ][0]
+    assert hard_4w.half_tl == pytest.approx(57e-9, rel=0.05)  # "~70 ns"

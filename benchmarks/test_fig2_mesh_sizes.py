@@ -1,0 +1,28 @@
+"""Figure 2 bench: regenerate the mesh-size table.
+
+Benchmarks the full mesh-generation pipeline at sf10e scale and prints
+measured-vs-paper sizes for every enabled instance.
+"""
+
+from repro.mesh.generator import generate_mesh
+from repro.mesh.instances import INSTANCES
+from repro.tables.fig2 import compute_mesh_sizes, table_fig2
+
+
+def test_fig2_mesh_sizes(benchmark, emit):
+    inst = INSTANCES["sf10e"]
+
+    def build():
+        return generate_mesh(
+            inst.model(),
+            period=inst.period,
+            points_per_wavelength=inst.points_per_wavelength,
+            seed=inst.seed,
+        )
+
+    mesh, _report = benchmark.pedantic(build, rounds=2, iterations=1)
+    emit("fig2_mesh_sizes", table_fig2())
+    rows = compute_mesh_sizes()
+    for row in rows:
+        if row.nodes is not None:
+            assert 0.7 < row.node_ratio < 1.3, row.instance

@@ -1,0 +1,28 @@
+"""Figure 7 bench: regenerate the SMVP properties table.
+
+The benchmarked unit is the statistics pipeline (partition ->
+distribution -> schedule -> per-PE counts) at sf10e/128.
+"""
+
+from repro import paperdata
+from repro.mesh.instances import get_instance
+from repro.stats import smvp_statistics
+from repro.tables.fig7 import compute_fig7, table_fig7
+
+
+def test_fig7_properties(benchmark, emit):
+    mesh, _ = get_instance("sf10e").build()
+
+    stats = benchmark.pedantic(
+        lambda: smvp_statistics(mesh, num_parts=128), rounds=2, iterations=1
+    )
+    assert stats.c_max % 6 == 0
+    emit("fig7_properties", table_fig7())
+    # Shape assertion: every measured cell within a modest band of the
+    # paper's published value.
+    for row in compute_fig7():
+        if row.measured is None:
+            continue
+        assert 0.5 < row.measured.F / row.paper.F < 2.0, (row.instance, row.num_parts)
+        assert 0.5 < row.measured.c_max / row.paper.C_max < 2.0
+        assert 0.3 < row.measured.b_max / row.paper.B_max < 3.0

@@ -1,0 +1,13 @@
+"""Figure 8 bench: required sustained bisection bandwidth."""
+
+from repro.tables.fig8 import compute_fig8, table_fig8
+
+
+def test_fig8_bisection(benchmark, emit):
+    rows = benchmark.pedantic(compute_fig8, rounds=2, iterations=1)
+    emit("fig8_bisection", table_fig8())
+    assert len(rows) == 2 * 3 * 6  # machines x efficiencies x p
+    worst = max(r.mbytes_per_second for r in rows)
+    # The paper's conclusion: the bisection is never the exotic part —
+    # worst case on the order of one to a few fast links.
+    assert worst < 4000.0

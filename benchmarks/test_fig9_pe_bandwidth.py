@@ -1,0 +1,27 @@
+"""Figure 9 bench: required sustained per-PE bandwidth for sf2."""
+
+import pytest
+
+from repro.model.requirements import pe_bandwidth_requirement_rows
+from repro.tables.fig9 import paper_inputs, table_fig9
+
+
+def test_fig9_pe_bandwidth(benchmark, emit):
+    inputs = paper_inputs()
+    rows = benchmark.pedantic(
+        lambda: pe_bandwidth_requirement_rows(inputs), rounds=3, iterations=1
+    )
+    emit("fig9_pe_bandwidth", table_fig9())
+    worst_100 = max(
+        r.mbytes_per_second
+        for r in rows
+        if r.mflops == 100.0 and r.efficiency == 0.9
+    )
+    worst_200 = max(
+        r.mbytes_per_second
+        for r in rows
+        if r.mflops == 200.0 and r.efficiency == 0.9
+    )
+    # Paper prose: ~120 MB/s at 100 MFLOPS, ~300 MB/s at 200 MFLOPS.
+    assert worst_100 == pytest.approx(140, rel=0.02)
+    assert worst_200 == pytest.approx(279, rel=0.02)

@@ -1,0 +1,41 @@
+"""Sections 3.3-3.4 bench: model vs simulated execution.
+
+Runs the barrier-mode BSP simulator across PE counts on T3E constants
+and verifies the Equation (2) prediction stays within [1, beta] of the
+simulated communication phase everywhere.
+"""
+
+from repro.model.machine import CRAY_T3E
+from repro.partition.base import partition_mesh
+from repro.mesh.instances import get_instance
+from repro.simulate import BspSimulator
+from repro.smvp.distribution import DataDistribution
+from repro.smvp.schedule import CommSchedule
+from repro.tables.validation import compute_validation, table_validation
+
+
+def test_model_vs_simulation(benchmark, emit):
+    mesh, _ = get_instance("sf10e").build()
+    partition = partition_mesh(mesh, 64)
+    dist = DataDistribution(mesh, partition)
+    schedule = CommSchedule(dist)
+    flops = dist.local_counts["flops"]
+    sim = BspSimulator(flops, schedule, CRAY_T3E)
+
+    times = benchmark(lambda: sim.run("barrier"))
+    assert times.t_smvp > 0
+    emit("model_vs_simulation", table_validation())
+    for row in compute_validation():
+        assert row.validation.model_holds, (row.instance, row.num_parts)
+
+
+def test_skewed_execution(benchmark):
+    """The no-barrier event simulation, benchmarked separately (it is
+    the only non-vectorized mode)."""
+    mesh, _ = get_instance("sf10e").build()
+    partition = partition_mesh(mesh, 64)
+    dist = DataDistribution(mesh, partition)
+    schedule = CommSchedule(dist)
+    sim = BspSimulator(dist.local_counts["flops"], schedule, CRAY_T3E)
+    times = benchmark.pedantic(lambda: sim.run("skewed"), rounds=3, iterations=1)
+    assert times.t_smvp > 0

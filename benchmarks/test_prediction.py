@@ -1,0 +1,37 @@
+"""Extension bench: whole-application runtime predictions.
+
+Forward use of Equations (1)+(2): predicted efficiency and full-run
+(6000-step) times for every published application on the Cray T3E and
+on a 200-MFLOP machine with the Figure 11 balanced network.
+"""
+
+import pytest
+
+from repro.model.application import predict_application
+from repro.model.inputs import ModelInputs
+from repro.model.machine import CRAY_T3E
+from repro.tables.prediction import (
+    balanced_future_machine,
+    compute_predictions,
+    table_prediction,
+)
+
+
+def test_prediction(benchmark, emit):
+    rows = benchmark.pedantic(compute_predictions, rounds=3, iterations=1)
+    emit("prediction", table_prediction())
+    assert len(rows) == 16
+    # The designed network achieves its design point exactly.
+    designed = [
+        r
+        for r in rows
+        if r.machine == "future+balanced-net" and r.label == "sf2/128"
+    ][0]
+    assert designed.efficiency == pytest.approx(0.9, abs=1e-9)
+    # Bigger problems always run more efficiently on a fixed machine.
+    t3e = {r.label: r.efficiency for r in rows if r.machine == "Cray T3E"}
+    assert t3e["sf10/128"] < t3e["sf5/128"] < t3e["sf2/128"] < t3e["sf1/128"]
+    # Sanity on absolute scale: sf1/128 on the T3E takes minutes-to-
+    # hours per simulated minute, not seconds or days.
+    sf1 = [r for r in rows if r.machine == "Cray T3E" and r.label == "sf1/128"][0]
+    assert 60 < sf1.total_seconds < 24 * 3600

@@ -1,0 +1,24 @@
+"""Section 1 bench: EXFLOW vs Quake communication-character table.
+
+When sf2e is gated off, the measured column shows "(gated)" but the
+bench still verifies our formulas recover the paper's published Quake
+row from the published Figure 7 data.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.mesh.instances import INSTANCES
+from repro.tables.sec1_exflow import compute_exflow_comparison, table_sec1_exflow
+
+
+def test_sec1_exflow(benchmark, emit):
+    cmp = benchmark.pedantic(compute_exflow_comparison, rounds=1, iterations=1)
+    emit("sec1_exflow", table_sec1_exflow())
+    props = paperdata.SMVP_PROPERTIES[("sf2", 128)]
+    mflops = props.F / 1e6
+    assert 8 * props.C_max / 1024 / mflops == pytest.approx(155, rel=0.05)
+    assert props.B_max / mflops == pytest.approx(60, rel=0.02)
+    if cmp.measured is not None:  # REPRO_LARGE=1
+        assert 50 < cmp.measured.comm_kbytes_per_mflop < 400
+        assert 20 < cmp.measured.messages_per_mflop < 150

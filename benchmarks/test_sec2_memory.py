@@ -1,0 +1,23 @@
+"""Section 2.1 bench: the 1.2 KB/node memory rule."""
+
+from repro import paperdata
+from repro.fem.memory import memory_model
+from repro.tables.sec2_memory import compute_memory_rows, table_sec2_memory
+
+
+def test_sec2_memory(benchmark, emit):
+    sizes = paperdata.MESH_SIZES["sf2"]
+
+    mm = benchmark.pedantic(
+        lambda: memory_model(sizes["nodes"], sizes["edges"], sizes["elements"]),
+        rounds=3,
+        iterations=1,
+    )
+    emit("sec2_memory", table_sec2_memory())
+    # Structural model applied to the paper's sf2 counts lands near the
+    # paper's "about 450 MBytes".
+    assert 300 < mm.mbytes < 600
+    for row in compute_memory_rows():
+        if row.model is not None:
+            ratio = row.model.bytes_per_node / paperdata.MEMORY_BYTES_PER_NODE
+            assert 0.5 < ratio < 1.5, row.instance

@@ -1,0 +1,124 @@
+"""An end-to-end earthquake ground-motion simulation.
+
+This is the application the paper's analysis abstracts: explicit
+time-stepped elastic wave propagation through the basin model, with
+every time step's SMVP executed by the *distributed* (p-PE) executor —
+so each of the simulation's steps exercises exactly the computation
+phase + exchange phase structure the performance model describes.
+
+Seismograms at a rock site and a basin site are printed as ASCII
+traces; the basin site should show the amplified, extended shaking that
+motivates the whole Quake project.
+
+Run:  python examples/earthquake_simulation.py [--steps N] [--pes P]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DistributedSMVP, get_instance, partition_mesh
+from repro.fem import (
+    ExplicitTimeStepper,
+    PointSource,
+    RickerWavelet,
+    assemble_lumped_mass,
+    assemble_stiffness,
+    materials_from_model,
+    stable_timestep,
+)
+
+
+def ascii_trace(values: np.ndarray, width: int = 64, height: int = 9) -> str:
+    """Render a 1D signal as a small ASCII plot."""
+    if len(values) > width:
+        # Downsample by max-abs so peaks survive.
+        bins = np.array_split(values, width)
+        values = np.array([b[np.argmax(np.abs(b))] for b in bins])
+    peak = np.abs(values).max() or 1.0
+    half = height // 2
+    levels = np.round(values / peak * half).astype(int)
+    rows = []
+    for level in range(half, -half - 1, -1):
+        chars = []
+        for l in levels:
+            filled = (0 < level <= l) or (l <= level < 0)
+            if filled:
+                chars.append("*")
+            elif level == 0:
+                chars.append("-")
+            else:
+                chars.append(" ")
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--instance", default="demo")
+    parser.add_argument("--pes", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=400)
+    args = parser.parse_args()
+
+    instance = get_instance(args.instance)
+    mesh, _ = instance.build()
+    model = instance.model()
+    materials = materials_from_model(mesh, model)
+    print(f"instance {args.instance}: {mesh}")
+
+    stiffness = assemble_stiffness(mesh, materials)
+    mass = assemble_lumped_mass(mesh, materials)
+    dt = stable_timestep(mesh, materials)
+    print(f"stable dt = {dt:.4f} s; simulating {args.steps * dt:.1f} s")
+
+    # Distribute across PEs: each step's SMVP runs the full scatter /
+    # local products / exchange-and-sum cycle.
+    partition = partition_mesh(mesh, args.pes, method="geometric")
+    smvp = DistributedSMVP(mesh, partition, materials)
+    print(
+        f"{args.pes} PEs: C_max={smvp.schedule.c_max} words, "
+        f"B_max={smvp.schedule.b_max} blocks per SMVP"
+    )
+
+    # A buried source under the basin edge.
+    source = PointSource.at_point(
+        mesh,
+        (model.center_x - 8_000.0, model.center_y, -6_000.0),
+        RickerWavelet(frequency=1.0 / instance.period, amplitude=1e13),
+    )
+
+    # Receivers: one on rock, one on the deepest basin sediment.
+    rock_site = np.array([4_000.0, 4_000.0, 0.0])
+    basin_site = np.array([model.center_x, model.center_y, 0.0])
+    receivers = np.array(
+        [
+            int(np.argmin(((mesh.points - rock_site) ** 2).sum(axis=1))),
+            int(np.argmin(((mesh.points - basin_site) ** 2).sum(axis=1))),
+        ]
+    )
+
+    stepper = ExplicitTimeStepper(
+        stiffness, mass, dt, damping_alpha=0.03, smvp=smvp
+    )
+    records, seismograms = stepper.run(
+        args.steps,
+        force_at=lambda t: source.force(t, mesh.num_nodes),
+        record_nodes=receivers,
+    )
+
+    peak = max(r.max_displacement for r in records)
+    print(f"peak displacement anywhere: {peak:.3e} m")
+    for name, idx in (("rock site", 0), ("basin site", 1)):
+        trace = seismograms[:, idx, 2]  # vertical component
+        print(f"\n{name} vertical displacement "
+              f"(peak {np.abs(trace).max():.3e} m):")
+        print(ascii_trace(trace))
+
+    amp = np.abs(seismograms[:, 1]).max() / max(
+        np.abs(seismograms[:, 0]).max(), 1e-30
+    )
+    print(f"\nbasin/rock amplification factor: {amp:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

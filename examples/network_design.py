@@ -1,0 +1,120 @@
+"""Network design study: the paper's Section 4 workflow as a tool.
+
+Given an application instance (measured or the paper's published sf2)
+and a machine generation, this example walks the designer's questions:
+
+1. How much sustained per-PE bandwidth does each efficiency target
+   demand?  (Equation 1 / Figure 9)
+2. For the chosen efficiency, what (burst bandwidth, block latency)
+   pairs satisfy it — and where is the balanced half-bandwidth point?
+   (Equation 2 / Figures 10-11)
+3. Would a real machine (Cray T3E constants) meet the target?  Checked
+   analytically *and* by executing the phase structure on the BSP
+   simulator.
+
+Run:  python examples/network_design.py [--source paper|measured]
+"""
+
+import argparse
+
+from repro import (
+    CRAY_T3E,
+    FUTURE_200MFLOPS,
+    ModelInputs,
+    get_instance,
+    partition_mesh,
+    smvp_statistics,
+)
+from repro.model import (
+    half_bandwidth_targets,
+    required_tc,
+    sustained_bandwidth_bytes,
+    tc_from_blocks,
+)
+from repro.model.highlevel import efficiency_from_tc
+from repro.model.lowlevel import MAXIMAL_BLOCKS, four_word_blocks, tradeoff_curve
+from repro.simulate import BspSimulator
+from repro.smvp import CommSchedule, DataDistribution
+
+
+def get_inputs(source: str, pes: int):
+    """Either the paper's published sf2 row or our measured sf10e."""
+    if source == "paper":
+        return ModelInputs.from_paper("sf2", pes), None
+    inst = get_instance("sf10e")
+    mesh, _ = inst.build()
+    partition = partition_mesh(mesh, pes, method="geometric")
+    stats = smvp_statistics(mesh, partition=partition)
+    dist = DataDistribution(mesh, partition)
+    return ModelInputs.from_stats(stats, label=f"sf10e/{pes}"), (stats, dist)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--source", choices=("paper", "measured"), default="paper")
+    parser.add_argument("--pes", type=int, default=128)
+    parser.add_argument("--efficiency", type=float, default=0.9)
+    args = parser.parse_args()
+
+    machine = FUTURE_200MFLOPS
+    inputs, measured = get_inputs(args.source, args.pes)
+    print(f"application: {inputs.label}  (F={inputs.F:,}, "
+          f"C_max={inputs.c_max:,}, B_max={inputs.b_max})")
+    print(f"machine: {machine.name} (T_f = {machine.tf * 1e9:.0f} ns/flop)\n")
+
+    # -- step 1: sustained bandwidth per efficiency target ---------------
+    print("required sustained per-PE bandwidth:")
+    for eff in (0.5, 0.7, 0.8, 0.9, 0.95):
+        bw = sustained_bandwidth_bytes(inputs, eff, machine)
+        print(f"  E = {eff:4.2f}: {bw / 1e6:8.0f} MB/s")
+
+    # -- step 2: the latency/bandwidth design space ----------------------
+    eff = args.efficiency
+    print(f"\ndesign space at E = {eff} (maximal blocks):")
+    curve = tradeoff_curve(
+        inputs,
+        eff,
+        machine,
+        MAXIMAL_BLOCKS,
+        burst_bandwidths_bytes=[100e6, 300e6, 600e6, 1e9, float("inf")],
+    )
+    for bw, tl in curve:
+        bw_label = "inf" if bw == float("inf") else f"{bw / 1e6:.0f} MB/s"
+        print(f"  burst {bw_label:>10}: block latency must be <= "
+              f"{tl * 1e6:.2f} us")
+
+    for mode in (MAXIMAL_BLOCKS, four_word_blocks()):
+        target = half_bandwidth_targets(inputs, eff, machine, mode)
+        print(
+            f"  balanced point ({mode.name} blocks): "
+            f"{target.burst_bandwidth_bytes / 1e6:.0f} MB/s burst + "
+            f"{target.half_tl * 1e9:.0f} ns latency"
+        )
+
+    # -- step 3: would a T3E-class network deliver? ----------------------
+    tc_t3e = tc_from_blocks(inputs, CRAY_T3E.tl, CRAY_T3E.tw)
+    achieved = efficiency_from_tc(inputs, tc_t3e, machine)
+    needed = required_tc(inputs, eff, machine)
+    print(
+        f"\na T3E-class network (T_l = 22 us, T_w = 55 ns) sustains "
+        f"{8 / tc_t3e / 1e6:.0f} MB/s -> efficiency {achieved:.2f} "
+        f"(target {eff}, which needs {8 / needed / 1e6:.0f} MB/s)"
+    )
+
+    if measured is not None:
+        stats, dist = measured
+        sim = BspSimulator(
+            stats.f_per_pe,
+            CommSchedule(dist),
+            CRAY_T3E,
+        )
+        times = sim.run("barrier")
+        print(
+            f"BSP simulation on T3E constants: T_smvp = "
+            f"{times.t_smvp * 1e3:.2f} ms, efficiency {times.efficiency:.2f} "
+            f"(model said {efficiency_from_tc(inputs, tc_t3e, CRAY_T3E):.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

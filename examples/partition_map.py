@@ -1,0 +1,83 @@
+"""Visualize the mesh grading and a partition as ASCII maps.
+
+Two map-view (bird's eye) renderings of a horizontal slice through the
+model:
+
+1. element-size map — shows the wavelength grading: small elements
+   (fine characters) concentrate in the soft sediment basin;
+2. subdomain map — one character per PE, showing how the geometric
+   partitioner carves the domain (and how subdomains shrink over the
+   basin, where elements are dense).
+
+Run:  python examples/partition_map.py [--pes 16] [--depth 500]
+"""
+
+import argparse
+import string
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro import get_instance, partition_mesh
+from repro.geometry import tet_longest_edges
+
+
+def slice_grid(model, depth: float, cols: int, rows: int) -> np.ndarray:
+    xs = np.linspace(model.domain.lo[0], model.domain.hi[0], cols)
+    ys = np.linspace(model.domain.lo[1], model.domain.hi[1], rows)
+    gx, gy = np.meshgrid(xs, ys)
+    pts = np.column_stack(
+        [gx.ravel(), gy.ravel(), np.full(gx.size, -abs(depth))]
+    )
+    return pts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--instance", default="sf10e")
+    parser.add_argument("--pes", type=int, default=16)
+    parser.add_argument("--depth", type=float, default=500.0)
+    parser.add_argument("--cols", type=int, default=72)
+    parser.add_argument("--rows", type=int, default=30)
+    args = parser.parse_args()
+
+    inst = get_instance(args.instance)
+    mesh, _ = inst.build()
+    model = inst.model()
+    print(f"{args.instance}: {mesh}; slice at {args.depth:.0f} m depth\n")
+
+    centroids = mesh.element_centroids
+    tree = cKDTree(centroids)
+    pts = slice_grid(model, args.depth, args.cols, args.rows)
+    _, nearest = tree.query(pts)
+
+    # --- map 1: element size ------------------------------------------
+    sizes = tet_longest_edges(mesh.points, mesh.tets)
+    size_chars = " .:-=+*#%@"  # big ... small
+    log_sizes = np.log(sizes[nearest])
+    lo, hi = log_sizes.min(), log_sizes.max()
+    level = ((hi - log_sizes) / max(hi - lo, 1e-12) * (len(size_chars) - 1)).astype(int)
+    print("element size (darker = finer = softer soil):")
+    for r in range(args.rows - 1, -1, -1):
+        row = level[r * args.cols : (r + 1) * args.cols]
+        print("".join(size_chars[v] for v in row))
+
+    # --- map 2: subdomains --------------------------------------------
+    partition = partition_mesh(mesh, args.pes, method="geometric")
+    chars = string.digits + string.ascii_uppercase + string.ascii_lowercase
+    owner = partition.parts[nearest]
+    print(f"\nsubdomains ({args.pes} PEs, geometric bisection):")
+    for r in range(args.rows - 1, -1, -1):
+        row = owner[r * args.cols : (r + 1) * args.cols]
+        print("".join(chars[v % len(chars)] for v in row))
+
+    sizes_per_part = partition.part_sizes()
+    print(
+        f"\nelements per PE: min {sizes_per_part.min()}, "
+        f"max {sizes_per_part.max()} (imbalance "
+        f"{partition.imbalance():.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

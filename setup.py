@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel support; on offline machines
+without `wheel`, use `python setup.py develop` instead.
+"""
+from setuptools import setup
+
+setup()

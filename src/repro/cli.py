@@ -1,0 +1,202 @@
+"""Command-line entry points.
+
+``repro-tables``
+    Regenerate the paper's tables and figures (all, or a selection).
+
+``repro-quake``
+    Run a small end-to-end earthquake simulation (mesh, assemble,
+    distributed SMVP per time step) and print a summary.
+
+``repro-mesh``
+    Build a named mesh instance, report its statistics, optionally
+    export it.
+
+``repro-measure``
+    Run the Spark98-style kernel suite and print T_f per kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main_tables(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-tables``."""
+    from repro.tables.report import TABLES, generate
+
+    parser = argparse.ArgumentParser(
+        prog="repro-tables",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "tables",
+        nargs="*",
+        help=f"tables to generate (default all): {', '.join(TABLES)}",
+    )
+    args = parser.parse_args(argv)
+    names = args.tables or None
+    try:
+        sys.stdout.write(generate(names))
+    except ValueError as exc:
+        parser.error(str(exc))
+    return 0
+
+
+def main_quake(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-quake``: a miniature Quake simulation."""
+    import numpy as np
+
+    from repro.fem import (
+        ExplicitTimeStepper,
+        PointSource,
+        RickerWavelet,
+        assemble_lumped_mass,
+        assemble_stiffness,
+        materials_from_model,
+        stable_timestep,
+    )
+    from repro.mesh.instances import get_instance, instance_names
+    from repro.partition.base import partition_mesh
+    from repro.smvp.executor import DistributedSMVP
+
+    parser = argparse.ArgumentParser(
+        prog="repro-quake",
+        description="Run a small earthquake ground-motion simulation.",
+    )
+    parser.add_argument(
+        "--instance", default="demo", choices=list(instance_names())
+    )
+    parser.add_argument("--pes", type=int, default=8, help="number of PEs")
+    parser.add_argument("--steps", type=int, default=100)
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="use the sequential SMVP instead of the distributed executor",
+    )
+    args = parser.parse_args(argv)
+
+    inst = get_instance(args.instance)
+    mesh, _ = inst.build()
+    model = inst.model()
+    materials = materials_from_model(mesh, model)
+    stiffness = assemble_stiffness(mesh, materials)
+    mass = assemble_lumped_mass(mesh, materials)
+    dt = stable_timestep(mesh, materials)
+    print(f"instance={args.instance} {mesh} dt={dt:.4f}s")
+
+    smvp = None
+    if not args.sequential:
+        partition = partition_mesh(mesh, args.pes)
+        smvp = DistributedSMVP(mesh, partition, materials)
+        print(
+            f"distributed on {args.pes} PEs: C_max={smvp.schedule.c_max} "
+            f"B_max={smvp.schedule.b_max}"
+        )
+    source = PointSource.at_point(
+        mesh,
+        (model.center_x, model.center_y, -4000.0),
+        RickerWavelet(frequency=1.0 / inst.period, amplitude=1e12),
+    )
+    stepper = ExplicitTimeStepper(
+        stiffness, mass, dt, damping_alpha=0.02, smvp=smvp
+    )
+    records, _ = stepper.run(
+        args.steps, force_at=lambda t: source.force(t, mesh.num_nodes)
+    )
+    peak = max(r.max_displacement for r in records)
+    print(
+        f"ran {args.steps} steps to t={stepper.time:.2f}s; "
+        f"peak displacement {peak:.3e} m; "
+        f"finite={np.isfinite(peak)}"
+    )
+    return 0
+
+
+def main_mesh(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-mesh``: build, inspect, and export meshes."""
+    from repro.mesh.instances import get_instance, instance_names
+    from repro.mesh.io import save_mesh, save_mesh_text
+    from repro.mesh.quality import quality_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description="Generate a named instance mesh and report/export it.",
+    )
+    parser.add_argument(
+        "--instance", default="sf10e", choices=list(instance_names())
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the mesh to this .npz path"
+    )
+    parser.add_argument(
+        "--out-text", default=None, help="write the portable text format"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="force a fresh build"
+    )
+    args = parser.parse_args(argv)
+
+    inst = get_instance(args.instance)
+    if not inst.is_enabled():
+        parser.error(
+            f"instance {args.instance} is gated; set {inst.gate}=1"
+        )
+    mesh, report = inst.build(use_cache=not args.no_cache)
+    print(f"{args.instance}: {mesh}")
+    if report is not None:
+        print(
+            f"  generated in {report.seconds_total:.1f}s "
+            f"(octree {report.octree_leaves} leaves, depth "
+            f"{report.octree_max_level}, method {report.method})"
+        )
+    print(f"  quality: {quality_report(mesh)}")
+    if inst.paper_mesh_sizes:
+        paper = inst.paper_mesh_sizes
+        print(
+            f"  paper ({inst.paper_name}): nodes={paper['nodes']:,} "
+            f"elements={paper['elements']:,} edges={paper['edges']:,}"
+        )
+    if args.out:
+        save_mesh(mesh, args.out)
+        print(f"  wrote {args.out}")
+    if args.out_text:
+        save_mesh_text(mesh, args.out_text)
+        print(f"  wrote {args.out_text}")
+    return 0
+
+
+def main_measure(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-measure``: the Spark98-style suite."""
+    from repro.smvp.spark98 import SUITE, run_suite
+
+    parser = argparse.ArgumentParser(
+        prog="repro-measure",
+        description="Measure T_f for the Spark98-style kernel suite.",
+    )
+    parser.add_argument("--instance", default="sf10e")
+    parser.add_argument("--pes", type=int, default=8)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--kernels", nargs="*", default=None, help=f"subset of {SUITE}"
+    )
+    args = parser.parse_args(argv)
+    kernels = tuple(args.kernels) if args.kernels else SUITE
+    unknown = [k for k in kernels if k not in SUITE]
+    if unknown:
+        parser.error(f"unknown kernels {unknown}")
+    results = run_suite(
+        instance=args.instance,
+        num_parts=args.pes,
+        repetitions=args.repetitions,
+        kernels=kernels,
+    )
+    print(f"{'kernel':<8} {'p':>4} {'flops':>12} {'s/SMVP':>12} {'T_f ns':>9} {'MFLOPS':>8}")
+    for name, run in results.items():
+        print(
+            f"{name:<8} {run.num_parts:>4} {run.flops:>12,} "
+            f"{run.seconds_per_smvp:>12.6f} {run.tf_ns:>9.2f} "
+            f"{run.mflops:>8.0f}"
+        )
+    return 0

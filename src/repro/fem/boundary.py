@@ -1,0 +1,76 @@
+"""Absorbing boundaries.
+
+The earth does not end 50 km from the epicenter; the real Quake codes
+used absorbing boundary conditions so outgoing waves leave the box
+instead of reflecting.  We implement the simplest robust scheme — a
+*sponge layer* (Cerjan-style): mass-proportional damping that ramps
+smoothly from zero in the interior to a maximum on the side and bottom
+faces of the domain.  The free surface (z = 0) stays undamped, since it
+is a real physical boundary.
+
+The stepper consumes this as a per-dof damping coefficient vector
+(generalizing its scalar ``damping_alpha``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import AABB
+from repro.mesh.core import TetMesh
+
+
+@dataclass(frozen=True)
+class SpongeLayer:
+    """A damping sponge on the non-free-surface boundaries.
+
+    Parameters
+    ----------
+    thickness:
+        Sponge width (m) measured inward from each absorbing face.
+    max_alpha:
+        Damping coefficient (1/s) reached at the boundary itself.
+    profile_exponent:
+        Shape of the ramp (2 = quadratic, the standard choice: gentle
+        at the inner edge to avoid impedance reflections).
+    absorb_top:
+        Whether the z-max face also absorbs (False for a free surface).
+    """
+
+    thickness: float
+    max_alpha: float
+    profile_exponent: float = 2.0
+    absorb_top: bool = False
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0:
+            raise ValueError("thickness must be positive")
+        if self.max_alpha < 0:
+            raise ValueError("max_alpha must be non-negative")
+        if self.profile_exponent <= 0:
+            raise ValueError("profile_exponent must be positive")
+
+    def node_alpha(self, points: np.ndarray, domain: AABB) -> np.ndarray:
+        """Damping coefficient per node, shape (n,)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        lo = np.asarray(domain.lo)
+        hi = np.asarray(domain.hi)
+        # Distance to the nearest absorbing face.
+        distances = [
+            pts[:, 0] - lo[0],
+            hi[0] - pts[:, 0],
+            pts[:, 1] - lo[1],
+            hi[1] - pts[:, 1],
+            pts[:, 2] - lo[2],
+        ]
+        if self.absorb_top:
+            distances.append(hi[2] - pts[:, 2])
+        dist = np.min(np.stack(distances, axis=1), axis=1)
+        ramp = np.clip(1.0 - dist / self.thickness, 0.0, 1.0)
+        return self.max_alpha * ramp**self.profile_exponent
+
+    def dof_alpha(self, mesh: TetMesh, domain: AABB) -> np.ndarray:
+        """Damping per degree of freedom (3 per node), shape (3n,)."""
+        return np.repeat(self.node_alpha(mesh.points, domain), 3)

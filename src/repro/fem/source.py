@@ -1,0 +1,96 @@
+"""Seismic sources.
+
+A strong-motion simulation needs something to shake the ground; we use
+the standard Ricker wavelet (second derivative of a Gaussian) applied
+as a body force at the mesh node nearest a hypocenter, which is the
+simplest physically reasonable stand-in for the double-couple sources
+the real Quake code used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.core import TetMesh
+
+
+@dataclass(frozen=True)
+class RickerWavelet:
+    """Ricker (Mexican hat) source-time function.
+
+    ``w(t) = (1 - 2 a) * exp(-a)`` with ``a = (pi f0 (t - t0))^2``.
+
+    Parameters
+    ----------
+    frequency:
+        Peak frequency f0 (Hz).
+    delay:
+        Time shift t0 (s); defaults to ``1.5 / f0`` so the wavelet
+        starts near zero amplitude.
+    amplitude:
+        Peak force scale (N).
+    """
+
+    frequency: float
+    delay: float = -1.0
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+        if self.delay < 0:
+            object.__setattr__(self, "delay", 1.5 / self.frequency)
+
+    def __call__(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        a = (np.pi * self.frequency * (t - self.delay)) ** 2
+        return self.amplitude * (1.0 - 2.0 * a) * np.exp(-a)
+
+
+@dataclass(frozen=True)
+class PointSource:
+    """A body force at a single mesh node.
+
+    Parameters
+    ----------
+    node:
+        Global node index the force acts on.
+    direction:
+        Unit force direction (3,).
+    wavelet:
+        Source-time function.
+    """
+
+    node: int
+    direction: np.ndarray
+    wavelet: RickerWavelet
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.direction, dtype=float)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise ValueError("direction must be nonzero")
+        object.__setattr__(self, "direction", d / norm)
+
+    @classmethod
+    def at_point(
+        cls,
+        mesh: TetMesh,
+        location,
+        wavelet: RickerWavelet,
+        direction=(0.0, 0.0, 1.0),
+    ) -> "PointSource":
+        """Source at the mesh node nearest a physical location."""
+        loc = np.asarray(location, dtype=float)
+        node = int(np.argmin(np.einsum("ij,ij->i", mesh.points - loc, mesh.points - loc)))
+        return cls(node=node, direction=np.asarray(direction), wavelet=wavelet)
+
+    def force(self, t: float, num_nodes: int) -> np.ndarray:
+        """Global force vector (3 * num_nodes,) at time ``t``."""
+        f = np.zeros(3 * num_nodes)
+        f[3 * self.node : 3 * self.node + 3] = self.direction * float(
+            self.wavelet(t)
+        )
+        return f

@@ -1,0 +1,48 @@
+"""Geometric primitives used throughout the reproduction.
+
+This subpackage is deliberately small and dependency-free (numpy only).
+It provides the few geometric facts the rest of the system needs:
+
+* :class:`~repro.geometry.aabb.AABB` — axis-aligned boxes, used to describe
+  the simulation domain and octree cells.
+* :mod:`~repro.geometry.tetra` — vectorized measures of tetrahedra
+  (signed volume, edge lengths, radius ratios) used by the mesher and the
+  finite element assembly.
+* :mod:`~repro.geometry.predicates` — orientation and containment tests.
+"""
+
+from repro.geometry.aabb import AABB
+from repro.geometry.tetra import (
+    tet_volumes,
+    tet_signed_volumes,
+    tet_edge_lengths,
+    tet_quality_radius_ratio,
+    tet_circumradii,
+    tet_inradii,
+    tet_centroids,
+    tet_longest_edges,
+    tet_shortest_edges,
+    tet_aspect_ratios,
+)
+from repro.geometry.predicates import (
+    orient3d,
+    points_in_tets,
+    points_in_aabb,
+)
+
+__all__ = [
+    "AABB",
+    "tet_volumes",
+    "tet_signed_volumes",
+    "tet_edge_lengths",
+    "tet_quality_radius_ratio",
+    "tet_circumradii",
+    "tet_inradii",
+    "tet_centroids",
+    "tet_longest_edges",
+    "tet_shortest_edges",
+    "tet_aspect_ratios",
+    "orient3d",
+    "points_in_tets",
+    "points_in_aabb",
+]

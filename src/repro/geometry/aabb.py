@@ -1,0 +1,153 @@
+"""Axis-aligned bounding boxes.
+
+The Quake simulation domain is a rectangular box of earth (roughly
+50 km x 50 km x 10 km under the San Fernando Valley).  ``AABB`` is the
+type we use to describe that domain, octree cells carved out of it, and
+query regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned box ``[lo, hi]`` in 3D.
+
+    Coordinates are stored as immutable tuples so an ``AABB`` can be used
+    as a dict key or set member.  All arithmetic helpers return numpy
+    arrays or new ``AABB`` instances; the box itself is never mutated.
+
+    Parameters
+    ----------
+    lo:
+        Minimum corner ``(x, y, z)``.
+    hi:
+        Maximum corner ``(x, y, z)``.  Must satisfy ``hi >= lo``
+        component-wise.
+    """
+
+    lo: tuple
+    hi: tuple
+
+    def __post_init__(self) -> None:
+        lo = tuple(float(v) for v in self.lo)
+        hi = tuple(float(v) for v in self.hi)
+        if len(lo) != 3 or len(hi) != 3:
+            raise ValueError("AABB corners must be 3D points")
+        if any(h < l for l, h in zip(lo, hi)):
+            raise ValueError(f"AABB hi corner {hi} below lo corner {lo}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "AABB":
+        """Smallest box containing every row of ``points`` (shape (n, 3))."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
+            raise ValueError("from_points expects a non-empty (n, 3) array")
+        return cls(tuple(pts.min(axis=0)), tuple(pts.max(axis=0)))
+
+    @property
+    def size(self) -> np.ndarray:
+        """Edge lengths ``hi - lo`` as a length-3 array."""
+        return np.asarray(self.hi) - np.asarray(self.lo)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Box center as a length-3 array."""
+        return (np.asarray(self.hi) + np.asarray(self.lo)) / 2.0
+
+    @property
+    def volume(self) -> float:
+        """Product of the edge lengths."""
+        return float(np.prod(self.size))
+
+    @property
+    def longest_edge(self) -> float:
+        return float(self.size.max())
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """Boolean mask of which rows of ``points`` lie inside the box.
+
+        ``tol`` expands the box by an absolute margin on every side, which
+        is useful when testing points produced by floating-point clipping.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        lo = np.asarray(self.lo) - tol
+        hi = np.asarray(self.hi) + tol
+        return np.all((pts >= lo) & (pts <= hi), axis=1)
+
+    def intersects(self, other: "AABB") -> bool:
+        """True when the two (closed) boxes share at least one point."""
+        return bool(
+            np.all(np.asarray(self.lo) <= np.asarray(other.hi))
+            and np.all(np.asarray(other.lo) <= np.asarray(self.hi))
+        )
+
+    def intersection(self, other: "AABB") -> "AABB":
+        """The overlapping box; raises ``ValueError`` if disjoint."""
+        if not self.intersects(other):
+            raise ValueError("boxes do not intersect")
+        lo = np.maximum(np.asarray(self.lo), np.asarray(other.lo))
+        hi = np.minimum(np.asarray(self.hi), np.asarray(other.hi))
+        return AABB(tuple(lo), tuple(hi))
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest box containing both boxes."""
+        lo = np.minimum(np.asarray(self.lo), np.asarray(other.lo))
+        hi = np.maximum(np.asarray(self.hi), np.asarray(other.hi))
+        return AABB(tuple(lo), tuple(hi))
+
+    def expanded(self, margin: float) -> "AABB":
+        """Box grown by ``margin`` on every side."""
+        lo = np.asarray(self.lo) - margin
+        hi = np.asarray(self.hi) + margin
+        return AABB(tuple(lo), tuple(hi))
+
+    def corners(self) -> np.ndarray:
+        """The eight corner points as an (8, 3) array, z-major order."""
+        xs = (self.lo[0], self.hi[0])
+        ys = (self.lo[1], self.hi[1])
+        zs = (self.lo[2], self.hi[2])
+        out = np.array(
+            [(x, y, z) for z in zs for y in ys for x in xs], dtype=float
+        )
+        return out
+
+    def octant(self, index: int) -> "AABB":
+        """One of the eight child boxes produced by splitting at the center.
+
+        ``index`` uses bit 0 for x, bit 1 for y, bit 2 for z (0 = low half).
+        This is the child ordering the octree subpackage relies on.
+        """
+        if not 0 <= index < 8:
+            raise ValueError("octant index must be in [0, 8)")
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        mid = (lo + hi) / 2.0
+        bits = np.array([(index >> d) & 1 for d in range(3)])
+        new_lo = np.where(bits == 0, lo, mid)
+        new_hi = np.where(bits == 0, mid, hi)
+        return AABB(tuple(new_lo), tuple(new_hi))
+
+    def sample_grid(self, counts) -> np.ndarray:
+        """Regular lattice of points inside the box, inclusive of faces.
+
+        ``counts`` gives the number of samples along each axis (>= 2 each,
+        or 1 to sample the midplane of that axis).  Returns an (N, 3) array.
+        """
+        axes = []
+        for lo, hi, c in zip(self.lo, self.hi, counts):
+            c = int(c)
+            if c < 1:
+                raise ValueError("sample count must be >= 1")
+            if c == 1:
+                axes.append(np.array([(lo + hi) / 2.0]))
+            else:
+                axes.append(np.linspace(lo, hi, c))
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])

@@ -1,0 +1,87 @@
+"""Mesh persistence.
+
+Two formats:
+
+* ``.npz`` — compact binary, used by the on-disk mesh cache.
+* a portable text format modeled on the Spark98 mesh files the paper's
+  postscript distributes: a header line with counts followed by node
+  coordinates and element corner indices, whitespace separated.  Slow
+  but human-readable and diff-able.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.mesh.core import TetMesh
+
+PathLike = Union[str, os.PathLike]
+
+_TEXT_MAGIC = "repro-tetmesh-v1"
+
+
+def save_mesh(mesh: TetMesh, path: PathLike) -> None:
+    """Write a mesh to a ``.npz`` file (created atomically)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as f:
+        np.savez_compressed(f, points=mesh.points, tets=mesh.tets)
+    os.replace(tmp, path)
+
+
+def load_mesh(path: PathLike) -> TetMesh:
+    """Read a mesh written by :func:`save_mesh`."""
+    with np.load(Path(path)) as data:
+        if "points" not in data or "tets" not in data:
+            raise ValueError(f"{path} is not a repro mesh file")
+        return TetMesh(data["points"], data["tets"])
+
+
+def save_mesh_text(mesh: TetMesh, path: PathLike) -> None:
+    """Write a mesh in the portable text format.
+
+    Layout::
+
+        repro-tetmesh-v1
+        <num_nodes> <num_elements>
+        x y z          (one line per node)
+        a b c d        (one line per element, 0-based node indices)
+    """
+    path = Path(path)
+    with open(path, "w") as f:
+        f.write(f"{_TEXT_MAGIC}\n")
+        f.write(f"{mesh.num_nodes} {mesh.num_elements}\n")
+        for x, y, z in mesh.points:
+            f.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
+        for a, b, c, d in mesh.tets:
+            f.write(f"{int(a)} {int(b)} {int(c)} {int(d)}\n")
+
+
+def load_mesh_text(path: PathLike) -> TetMesh:
+    """Read a mesh written by :func:`save_mesh_text`."""
+    path = Path(path)
+    with open(path) as f:
+        magic = f.readline().strip()
+        if magic != _TEXT_MAGIC:
+            raise ValueError(f"{path}: bad magic {magic!r}")
+        header = f.readline().split()
+        if len(header) != 2:
+            raise ValueError(f"{path}: bad header")
+        num_nodes, num_elements = int(header[0]), int(header[1])
+        points = np.empty((num_nodes, 3), dtype=np.float64)
+        for i in range(num_nodes):
+            parts = f.readline().split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}: bad node line {i}")
+            points[i] = [float(p) for p in parts]
+        tets = np.empty((num_elements, 4), dtype=np.int64)
+        for i in range(num_elements):
+            parts = f.readline().split()
+            if len(parts) != 4:
+                raise ValueError(f"{path}: bad element line {i}")
+            tets[i] = [int(p) for p in parts]
+    return TetMesh(points, tets, copy=False)

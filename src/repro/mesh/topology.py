@@ -1,0 +1,122 @@
+"""Vectorized mesh topology operations.
+
+Everything here operates on raw ``(m, 4)`` element arrays so the
+functions can be reused on subdomain element lists without building full
+:class:`~repro.mesh.core.TetMesh` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.geometry.tetra import TET_EDGES, TET_FACES
+
+
+def directed_edges(tets: np.ndarray) -> np.ndarray:
+    """All 6 undirected corner pairs of every element, low index first.
+
+    Shape (6m, 2); contains duplicates (edges shared between elements).
+    """
+    tets = np.asarray(tets, dtype=np.int64)
+    pairs = tets[:, TET_EDGES]  # (m, 6, 2)
+    pairs = pairs.reshape(-1, 2)
+    return np.sort(pairs, axis=1)
+
+
+def unique_edges(tets: np.ndarray) -> np.ndarray:
+    """Unique undirected edges of the mesh, sorted lexicographically.
+
+    This is the edge count the paper's Figure 2 reports: the stiffness
+    matrix K has one 3x3 off-diagonal block per direction of each edge
+    plus one diagonal block per node.
+    """
+    pairs = directed_edges(tets)
+    if len(pairs) == 0:
+        return pairs.reshape(0, 2)
+    # Pack into a single int64 key for a fast unique.
+    n = int(pairs.max()) + 1
+    keys = pairs[:, 0] * np.int64(n) + pairs[:, 1]
+    uniq = np.unique(keys)
+    out = np.empty((len(uniq), 2), dtype=np.int64)
+    out[:, 0] = uniq // n
+    out[:, 1] = uniq % n
+    return out
+
+
+def node_adjacency(num_nodes: int, edges: np.ndarray) -> sp.csr_matrix:
+    """Symmetric boolean CSR adjacency of the node graph (no diagonal)."""
+    if len(edges) == 0:
+        return sp.csr_matrix((num_nodes, num_nodes), dtype=np.int8)
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
+    data = np.ones(len(rows), dtype=np.int8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+
+
+def element_node_incidence(
+    tets: np.ndarray, num_nodes: int
+) -> sp.csr_matrix:
+    """Sparse (num_elements, num_nodes) incidence matrix (1 per corner)."""
+    tets = np.asarray(tets, dtype=np.int64)
+    m = tets.shape[0]
+    rows = np.repeat(np.arange(m, dtype=np.int64), 4)
+    cols = tets.ravel()
+    data = np.ones(4 * m, dtype=np.int8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(m, num_nodes))
+
+
+def element_adjacency(tets: np.ndarray) -> sp.csr_matrix:
+    """Element-to-element adjacency through shared faces.
+
+    Two elements are adjacent when they share a triangular face.  Used by
+    graph-growing and spectral partitioners.
+    """
+    tets = np.asarray(tets, dtype=np.int64)
+    m = tets.shape[0]
+    if m == 0:
+        return sp.csr_matrix((0, 0), dtype=np.int8)
+    faces = np.sort(tets[:, TET_FACES], axis=2).reshape(-1, 3)
+    owner = np.repeat(np.arange(m, dtype=np.int64), 4)
+    order = np.lexsort((faces[:, 2], faces[:, 1], faces[:, 0]))
+    faces = faces[order]
+    owner = owner[order]
+    same = np.all(faces[1:] == faces[:-1], axis=1)
+    a = owner[:-1][same]
+    b = owner[1:][same]
+    rows = np.concatenate([a, b])
+    cols = np.concatenate([b, a])
+    data = np.ones(len(rows), dtype=np.int8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(m, m))
+
+
+def surface_faces(tets: np.ndarray) -> np.ndarray:
+    """Triangles appearing in exactly one element (the mesh boundary)."""
+    tets = np.asarray(tets, dtype=np.int64)
+    if tets.shape[0] == 0:
+        return np.empty((0, 3), dtype=np.int64)
+    faces = np.sort(tets[:, TET_FACES], axis=2).reshape(-1, 3)
+    order = np.lexsort((faces[:, 2], faces[:, 1], faces[:, 0]))
+    faces = faces[order]
+    first = np.ones(len(faces), dtype=bool)
+    first[1:] = np.any(faces[1:] != faces[:-1], axis=1)
+    # Run length of each distinct face.
+    starts = np.flatnonzero(first)
+    counts = np.diff(np.append(starts, len(faces)))
+    return faces[starts[counts == 1]]
+
+
+def is_connected(num_nodes: int, edges: np.ndarray) -> bool:
+    """Whether the node graph has a single connected component."""
+    if num_nodes <= 1:
+        return True
+    adj = node_adjacency(num_nodes, edges)
+    ncomp, _ = connected_components(adj, directed=False)
+    return int(ncomp) == 1
+
+
+def nodes_of_elements(tets: np.ndarray, element_ids: np.ndarray) -> np.ndarray:
+    """Sorted unique node indices touched by the given elements."""
+    tets = np.asarray(tets, dtype=np.int64)
+    return np.unique(tets[np.asarray(element_ids)].ravel())

@@ -1,0 +1,75 @@
+"""The paper's SMVP performance models (Sections 3-4).
+
+This is the core analytical contribution being reproduced:
+
+* :mod:`~repro.model.machine` — machine parameter sets (T_f, T_l, T_w):
+  the hypothetical 100/200-MFLOP machines of Section 4 and the measured
+  Cray T3D/T3E constants.
+* :mod:`~repro.model.inputs` — the application-side inputs (F, C_max,
+  B_max), constructible from measured statistics or from the paper's
+  published Figure 7.
+* :mod:`~repro.model.highlevel` — Equation (1): sustained communication
+  time per word T_c required for a target efficiency.
+* :mod:`~repro.model.lowlevel` — Equation (2): the block latency /
+  burst bandwidth decomposition of T_c, with maximal or fixed-size
+  (cache-line) block modes.
+* :mod:`~repro.model.requirements` — the Section 4 requirement curves:
+  bisection bandwidth (Fig 8), sustained per-PE bandwidth (Fig 9),
+  latency/bandwidth tradeoffs (Fig 10), half-bandwidth targets (Fig 11).
+"""
+
+from repro.model.machine import (
+    Machine,
+    CURRENT_100MFLOPS,
+    FUTURE_200MFLOPS,
+    CRAY_T3D,
+    CRAY_T3E,
+    MACHINES,
+)
+from repro.model.inputs import ModelInputs
+from repro.model.highlevel import (
+    required_tc,
+    sustained_bandwidth_bytes,
+    efficiency_from_tc,
+    smvp_time,
+)
+from repro.model.lowlevel import (
+    BlockMode,
+    MAXIMAL_BLOCKS,
+    four_word_blocks,
+    tc_from_blocks,
+    latency_for_tradeoff,
+    tradeoff_curve,
+    half_bandwidth_targets,
+    HalfBandwidthTarget,
+)
+from repro.model.requirements import (
+    bisection_bandwidth_bytes,
+    pe_bandwidth_requirement_rows,
+    bisection_requirement_rows,
+)
+
+__all__ = [
+    "Machine",
+    "CURRENT_100MFLOPS",
+    "FUTURE_200MFLOPS",
+    "CRAY_T3D",
+    "CRAY_T3E",
+    "MACHINES",
+    "ModelInputs",
+    "required_tc",
+    "sustained_bandwidth_bytes",
+    "efficiency_from_tc",
+    "smvp_time",
+    "BlockMode",
+    "MAXIMAL_BLOCKS",
+    "four_word_blocks",
+    "tc_from_blocks",
+    "latency_for_tradeoff",
+    "tradeoff_curve",
+    "half_bandwidth_targets",
+    "HalfBandwidthTarget",
+    "bisection_bandwidth_bytes",
+    "pe_bandwidth_requirement_rows",
+    "bisection_requirement_rows",
+]

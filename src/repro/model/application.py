@@ -1,0 +1,71 @@
+"""Whole-application predictions.
+
+A Quake run is 6000 explicit time steps (Section 2.2), each dominated
+by one SMVP.  Given an application's (F, C_max, B_max) and a machine
+with block constants, this module predicts the achieved efficiency, the
+per-SMVP time, and the full simulation's running time — turning the
+paper's models into the forward tool an application scientist would
+actually use ("how long will sf2 take on 128 of these?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import paperdata
+from repro.model.highlevel import efficiency_from_tc, smvp_time
+from repro.model.inputs import ModelInputs
+from repro.model.lowlevel import BlockMode, MAXIMAL_BLOCKS, tc_from_blocks
+from repro.model.machine import Machine
+
+
+@dataclass(frozen=True)
+class ApplicationPrediction:
+    """Predicted performance of one application on one machine."""
+
+    label: str
+    machine: str
+    num_parts: int
+    flops_per_step: int
+    tc: float  # sustained time per word achieved (s)
+    efficiency: float
+    t_smvp: float  # seconds per SMVP
+    num_steps: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Full-simulation running time (SMVPs only, the >80% part)."""
+        return self.num_steps * self.t_smvp
+
+    @property
+    def sustained_mflops_per_pe(self) -> float:
+        """Achieved MFLOPS per PE including communication stalls."""
+        return self.flops_per_step / self.t_smvp / 1e6
+
+
+def predict_application(
+    inputs: ModelInputs,
+    machine: Machine,
+    mode: BlockMode = MAXIMAL_BLOCKS,
+    num_steps: int = paperdata.NUM_TIME_STEPS,
+) -> ApplicationPrediction:
+    """Predict efficiency and running time on a machine with T_l/T_w.
+
+    Uses Equation (2) for the sustained per-word time the machine
+    actually delivers, then Equation (1) inverted for the efficiency.
+    """
+    if machine.tl is None or machine.tw is None:
+        raise ValueError(f"machine {machine.name} lacks block constants")
+    tc = tc_from_blocks(inputs, machine.tl, machine.tw, mode)
+    eff = efficiency_from_tc(inputs, tc, machine)
+    t_step = smvp_time(inputs, tc, machine)
+    return ApplicationPrediction(
+        label=inputs.label,
+        machine=machine.name,
+        num_parts=inputs.num_parts,
+        flops_per_step=inputs.F,
+        tc=tc,
+        efficiency=eff,
+        t_smvp=t_step,
+        num_steps=num_steps,
+    )

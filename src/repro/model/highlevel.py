@@ -1,0 +1,55 @@
+"""Equation (1): the high-level communication model.
+
+The SMVP is two synchronous phases: ``T_smvp = T_comp + T_comm`` with
+``T_comp = F T_f`` and ``T_comm = C_max T_c``.  Defining efficiency
+``E = T_comp / T_smvp`` and solving for the sustained per-word time:
+
+``T_c = (F / C_max) ((1 - E) / E) T_f``                      (1)
+
+The separation the paper highlights: ``F / C_max`` is an application +
+partitioner property, ``T_f`` a processor + compiler property, and
+``E`` a user-imposed target.
+"""
+
+from __future__ import annotations
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.machine import Machine
+
+
+def _check_efficiency(efficiency: float) -> None:
+    if not 0.0 < efficiency < 1.0:
+        raise ValueError("efficiency must be strictly between 0 and 1")
+
+
+def required_tc(inputs: ModelInputs, efficiency: float, machine: Machine) -> float:
+    """Equation (1): required sustained time per word (seconds)."""
+    _check_efficiency(efficiency)
+    return (
+        inputs.f_over_c * ((1.0 - efficiency) / efficiency) * machine.tf
+    )
+
+
+def sustained_bandwidth_bytes(
+    inputs: ModelInputs, efficiency: float, machine: Machine
+) -> float:
+    """Required sustained per-PE bandwidth (bytes/s) — Figure 9's y-axis."""
+    tc = required_tc(inputs, efficiency, machine)
+    return paperdata.BYTES_PER_WORD / tc
+
+
+def efficiency_from_tc(inputs: ModelInputs, tc: float, machine: Machine) -> float:
+    """Invert Equation (1): efficiency achieved at a given T_c."""
+    if tc < 0:
+        raise ValueError("tc must be non-negative")
+    t_comp = inputs.F * machine.tf
+    t_comm = inputs.c_max * tc
+    return t_comp / (t_comp + t_comm)
+
+
+def smvp_time(inputs: ModelInputs, tc: float, machine: Machine) -> float:
+    """Modeled T_smvp = F T_f + C_max T_c (seconds)."""
+    if tc < 0:
+        raise ValueError("tc must be non-negative")
+    return inputs.F * machine.tf + inputs.c_max * tc

@@ -1,0 +1,68 @@
+"""Application-side inputs to the performance model.
+
+Equations (1) and (2) need only three application numbers — F, C_max,
+B_max (plus the bisection volume for Figure 8).  ``ModelInputs`` is the
+small adapter that lets every model function run identically on
+
+* measured statistics from our meshes/partitions
+  (:meth:`ModelInputs.from_stats`), and
+* the paper's published Figure 7 rows
+  (:meth:`ModelInputs.from_paper`) — which is how the model-side
+  figures (8-11) stay exactly reproducible even when the big meshes
+  are gated off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import paperdata
+from repro.stats.properties import SmvpStats
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """The (F, C_max, B_max) triple plus optional extras."""
+
+    label: str
+    num_parts: int
+    F: int
+    c_max: int
+    b_max: int
+    m_avg: Optional[float] = None
+    bisection_words: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.F <= 0 or self.c_max <= 0 or self.b_max <= 0:
+            raise ValueError("F, C_max, B_max must be positive")
+
+    @property
+    def f_over_c(self) -> float:
+        return self.F / self.c_max
+
+    @classmethod
+    def from_stats(cls, stats: SmvpStats, label: str = "") -> "ModelInputs":
+        """Adapt measured :class:`~repro.stats.SmvpStats`."""
+        return cls(
+            label=label or f"measured/{stats.num_parts}",
+            num_parts=stats.num_parts,
+            F=stats.F,
+            c_max=stats.c_max,
+            b_max=stats.b_max,
+            m_avg=stats.m_avg,
+            bisection_words=stats.bisection_words,
+        )
+
+    @classmethod
+    def from_paper(cls, application: str, num_parts: int) -> "ModelInputs":
+        """The paper's published Figure 7 row for (application, p)."""
+        props = paperdata.SMVP_PROPERTIES[(application, num_parts)]
+        return cls(
+            label=f"{application}/{num_parts}",
+            num_parts=num_parts,
+            F=props.F,
+            c_max=props.C_max,
+            b_max=props.B_max,
+            m_avg=float(props.M_avg),
+        )

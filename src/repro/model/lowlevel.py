@@ -1,0 +1,181 @@
+"""Equation (2): the low-level (block) communication model.
+
+During the communication phase a PE moves ``B`` blocks totalling ``C``
+words; block ``i`` of ``l_i`` words costs ``T_l + l_i T_w``, so
+
+``T_comm = B_max T_l + C_max T_w``  and  ``T_c = (B_max/C_max) T_l + T_w``  (2)
+
+Block modes
+-----------
+``B_max`` depends on the transfer granularity:
+
+* *maximal blocks* — one message per neighbor per direction (message
+  passing, or DSMs that aggregate); ``B_max`` comes straight from the
+  schedule.
+* *fixed-size blocks* — e.g. 4-word cache lines on a fine-grained
+  shared-memory machine; then ``B_max = C_max / block_words``
+  (Section 4.4's Figure 10(b) uses 4 words).
+
+The paper's prose quotes for the *maximal*-block latency limits are
+2.5-3x tighter than Equation (2) applied to the published Figure 7 data
+(see DESIGN.md); a ``blocks_per_neighbor`` multiplier (e.g. 3 if each
+degree of freedom travelled as its own message) reproduces them and is
+exposed for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import paperdata
+from repro.model.highlevel import required_tc
+from repro.model.inputs import ModelInputs
+from repro.model.machine import Machine
+
+
+@dataclass(frozen=True)
+class BlockMode:
+    """How communication words are grouped into blocks.
+
+    Exactly one of ``fixed_words`` (fixed-size blocks of that many
+    words) or ``maximal`` behaviour (``fixed_words is None``) applies;
+    ``blocks_per_neighbor`` scales the maximal-block count.
+    """
+
+    name: str
+    fixed_words: Optional[int] = None
+    blocks_per_neighbor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fixed_words is not None and self.fixed_words < 1:
+            raise ValueError("fixed_words must be >= 1")
+        if self.blocks_per_neighbor < 1:
+            raise ValueError("blocks_per_neighbor must be >= 1")
+
+    def b_max(self, inputs: ModelInputs) -> float:
+        """Effective maximum block count for this mode."""
+        if self.fixed_words is not None:
+            return inputs.c_max / self.fixed_words
+        return inputs.b_max * self.blocks_per_neighbor
+
+
+#: One (maximal) block per neighbor per direction.
+MAXIMAL_BLOCKS = BlockMode(name="maximal")
+
+
+def four_word_blocks() -> BlockMode:
+    """Fixed 4-word (32-byte cache line) blocks — Figure 10(b)."""
+    return BlockMode(name="4-word", fixed_words=4)
+
+
+def fixed_blocks(words: int) -> BlockMode:
+    """Fixed blocks of an arbitrary word count (block-size ablation)."""
+    return BlockMode(name=f"{words}-word", fixed_words=words)
+
+
+def tc_from_blocks(
+    inputs: ModelInputs, tl: float, tw: float, mode: BlockMode = MAXIMAL_BLOCKS
+) -> float:
+    """Equation (2) forward: T_c from machine block parameters."""
+    if tl < 0 or tw < 0:
+        raise ValueError("tl and tw must be non-negative")
+    return (mode.b_max(inputs) / inputs.c_max) * tl + tw
+
+
+def latency_for_tradeoff(
+    inputs: ModelInputs,
+    efficiency: float,
+    machine: Machine,
+    tw: float,
+    mode: BlockMode = MAXIMAL_BLOCKS,
+) -> float:
+    """Largest block latency meeting the efficiency target at burst 1/tw.
+
+    Solves Equation (2) for ``T_l`` given the Equation (1) requirement;
+    returns a negative number when the target is infeasible even at
+    zero latency (i.e. ``tw`` alone already exceeds the required T_c).
+    """
+    tc = required_tc(inputs, efficiency, machine)
+    return (tc - tw) * inputs.c_max / mode.b_max(inputs)
+
+
+def tradeoff_curve(
+    inputs: ModelInputs,
+    efficiency: float,
+    machine: Machine,
+    mode: BlockMode = MAXIMAL_BLOCKS,
+    burst_bandwidths_bytes: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, float]]:
+    """Figure 10: (burst bandwidth bytes/s, max latency s) pairs.
+
+    Each point is a machine design meeting the sustained-bandwidth
+    requirement exactly.  Points where the latency would be negative
+    (infeasible burst bandwidth) are dropped.  The default burst grid
+    spans 10 MB/s to 100 GB/s, plus infinity (tw = 0).
+    """
+    if burst_bandwidths_bytes is None:
+        burst_bandwidths_bytes = list(np.geomspace(10e6, 100e9, 25)) + [
+            float("inf")
+        ]
+    out = []
+    for bw in burst_bandwidths_bytes:
+        tw = 0.0 if np.isinf(bw) else paperdata.BYTES_PER_WORD / bw
+        tl = latency_for_tradeoff(inputs, efficiency, machine, tw, mode)
+        if tl >= 0:
+            out.append((float(bw), float(tl)))
+    return out
+
+
+@dataclass(frozen=True)
+class HalfBandwidthTarget:
+    """A balanced design point: latency and bandwidth each consume half
+    of the communication-phase time (Section 4.4).
+
+    Over-engineering either side beyond this point can recover at most
+    a factor of two — which is why the paper proposes these as network
+    design targets.
+    """
+
+    label: str
+    efficiency: float
+    machine: str
+    mode: str
+    tc: float  # required sustained time per word (s)
+    half_tw: float  # seconds per word
+    half_tl: float  # seconds per block
+
+    @property
+    def burst_bandwidth_bytes(self) -> float:
+        return paperdata.BYTES_PER_WORD / self.half_tw
+
+    @property
+    def sustained_bandwidth_bytes(self) -> float:
+        return paperdata.BYTES_PER_WORD / self.tc
+
+
+def half_bandwidth_targets(
+    inputs: ModelInputs,
+    efficiency: float,
+    machine: Machine,
+    mode: BlockMode = MAXIMAL_BLOCKS,
+) -> HalfBandwidthTarget:
+    """Figure 11: the half-bandwidth / half-latency design point.
+
+    Setting ``C_max T_w = B_max T_l = T_comm / 2`` gives
+    ``T_w = T_c / 2`` and ``T_l = T_c C_max / (2 B_max)``.
+    """
+    tc = required_tc(inputs, efficiency, machine)
+    half_tw = tc / 2.0
+    half_tl = tc * inputs.c_max / (2.0 * mode.b_max(inputs))
+    return HalfBandwidthTarget(
+        label=inputs.label,
+        efficiency=efficiency,
+        machine=machine.name,
+        mode=mode.name,
+        tc=tc,
+        half_tw=half_tw,
+        half_tl=half_tl,
+    )

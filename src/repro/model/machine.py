@@ -1,0 +1,87 @@
+"""Machine parameter sets.
+
+A machine, for the purposes of the model, is three numbers:
+
+* ``T_f`` — amortized time per flop of the local SMVP (the *sustained*
+  local rate, not peak; includes cache misses, pipeline stalls, and
+  every other overhead — which is why a 600-MFLOP-peak T3E measures
+  only 70 MFLOPS here).
+* ``T_l`` — block latency: fixed cost to move one block between the
+  network interface and local memory.
+* ``T_w`` — marginal time per additional block word (1/burst bandwidth).
+
+All stored in seconds.  ``T_l``/``T_w`` may be ``None`` for machines the
+paper only characterizes computationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import paperdata
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A (T_f, T_l, T_w) machine model."""
+
+    name: str
+    tf: float  # seconds per flop
+    tl: Optional[float] = None  # seconds per block
+    tw: Optional[float] = None  # seconds per word
+
+    def __post_init__(self) -> None:
+        if self.tf <= 0:
+            raise ValueError("tf must be positive")
+        if self.tl is not None and self.tl < 0:
+            raise ValueError("tl must be non-negative")
+        if self.tw is not None and self.tw < 0:
+            raise ValueError("tw must be non-negative")
+
+    @property
+    def mflops(self) -> float:
+        """Sustained local SMVP rate in MFLOPS (1 / T_f, scaled)."""
+        return 1e-6 / self.tf
+
+    @property
+    def burst_bandwidth_bytes(self) -> Optional[float]:
+        """Burst bandwidth in bytes/s (words are 64-bit)."""
+        if self.tw is None or self.tw == 0:
+            return None
+        return paperdata.BYTES_PER_WORD / self.tw
+
+    @classmethod
+    def from_mflops(
+        cls,
+        name: str,
+        mflops: float,
+        tl: Optional[float] = None,
+        tw: Optional[float] = None,
+    ) -> "Machine":
+        """Build a machine from a sustained MFLOPS rating."""
+        if mflops <= 0:
+            raise ValueError("mflops must be positive")
+        return cls(name=name, tf=1e-6 / mflops, tl=tl, tw=tw)
+
+
+#: The paper's hypothetical "current" machine (Section 4): 100 MFLOPS.
+CURRENT_100MFLOPS = Machine.from_mflops("current-100MFLOPS", 100.0)
+
+#: The paper's hypothetical "future" machine: 200 MFLOPS.
+FUTURE_200MFLOPS = Machine.from_mflops("future-200MFLOPS", 200.0)
+
+#: Cray T3D: measured T_f = 30 ns (Section 3.1).
+CRAY_T3D = Machine(name="Cray T3D", tf=30e-9)
+
+#: Cray T3E: measured T_f = 14 ns, T_l = 22 us, T_w = 55 ns
+#: (Sections 3.1 and 3.3).
+CRAY_T3E = Machine(name="Cray T3E", tf=14e-9, tl=22e-6, tw=55e-9)
+
+#: Registry by short name.
+MACHINES: Dict[str, Machine] = {
+    "current": CURRENT_100MFLOPS,
+    "future": FUTURE_200MFLOPS,
+    "t3d": CRAY_T3D,
+    "t3e": CRAY_T3E,
+}

@@ -1,0 +1,99 @@
+"""Section 4 requirement sweeps (the data behind Figures 8 and 9).
+
+Both figures sweep subdomain counts {4..128} x machines {100, 200
+MFLOPS} x efficiencies {0.5, 0.8, 0.9}; each function here produces one
+row per (p, machine, efficiency) so the table benches can print them
+and tests can assert the headline claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro import paperdata
+from repro.model.highlevel import required_tc, sustained_bandwidth_bytes
+from repro.model.inputs import ModelInputs
+from repro.model.machine import CURRENT_100MFLOPS, FUTURE_200MFLOPS, Machine
+
+#: The efficiencies the paper's Figures 8-9 plot.
+DEFAULT_EFFICIENCIES = (0.5, 0.8, 0.9)
+
+#: The two hypothetical machines of Section 4.
+DEFAULT_MACHINES = (CURRENT_100MFLOPS, FUTURE_200MFLOPS)
+
+
+def bisection_bandwidth_bytes(
+    inputs: ModelInputs, efficiency: float, machine: Machine
+) -> float:
+    """Required sustained bisection bandwidth (bytes/s) — Section 4.2.
+
+    ``V`` words cross the bisection while the busiest PE spends
+    ``C_max * T_c`` seconds communicating, so the network must sustain
+    ``V / (C_max T_c)`` words/s across the bisection.
+    """
+    if inputs.bisection_words is None:
+        raise ValueError(f"{inputs.label}: no bisection volume available")
+    tc = required_tc(inputs, efficiency, machine)
+    words_per_second = inputs.bisection_words / (inputs.c_max * tc)
+    return paperdata.BYTES_PER_WORD * words_per_second
+
+
+@dataclass(frozen=True)
+class RequirementRow:
+    """One point of a Figure 8/9 curve."""
+
+    label: str
+    num_parts: int
+    machine: str
+    mflops: float
+    efficiency: float
+    mbytes_per_second: float
+
+
+def pe_bandwidth_requirement_rows(
+    inputs_list: Sequence[ModelInputs],
+    efficiencies: Iterable[float] = DEFAULT_EFFICIENCIES,
+    machines: Iterable[Machine] = DEFAULT_MACHINES,
+) -> List[RequirementRow]:
+    """Figure 9: required sustained per-PE bandwidth for each point."""
+    rows = []
+    for machine in machines:
+        for eff in efficiencies:
+            for inputs in inputs_list:
+                bw = sustained_bandwidth_bytes(inputs, eff, machine)
+                rows.append(
+                    RequirementRow(
+                        label=inputs.label,
+                        num_parts=inputs.num_parts,
+                        machine=machine.name,
+                        mflops=machine.mflops,
+                        efficiency=eff,
+                        mbytes_per_second=bw / 1e6,
+                    )
+                )
+    return rows
+
+
+def bisection_requirement_rows(
+    inputs_list: Sequence[ModelInputs],
+    efficiencies: Iterable[float] = DEFAULT_EFFICIENCIES,
+    machines: Iterable[Machine] = DEFAULT_MACHINES,
+) -> List[RequirementRow]:
+    """Figure 8: required sustained bisection bandwidth for each point."""
+    rows = []
+    for machine in machines:
+        for eff in efficiencies:
+            for inputs in inputs_list:
+                bw = bisection_bandwidth_bytes(inputs, eff, machine)
+                rows.append(
+                    RequirementRow(
+                        label=inputs.label,
+                        num_parts=inputs.num_parts,
+                        machine=machine.name,
+                        mflops=machine.mflops,
+                        efficiency=eff,
+                        mbytes_per_second=bw / 1e6,
+                    )
+                )
+    return rows

@@ -1,0 +1,89 @@
+"""Graded point sets for Delaunay meshing.
+
+The corners of a balanced, sizing-refined octree form a point set whose
+local spacing tracks the sizing field and changes by at most a factor of
+two between neighboring regions.  Feeding those corners straight into a
+Delaunay triangulator would produce a highly structured (and degenerate:
+many cospherical corner groups) mesh, so we perturb interior points by a
+deterministic jitter proportional to the local spacing.  Points on the
+domain boundary are only jittered *within* their face (or edge), so the
+convex hull of the point set remains exactly the domain box and the
+Delaunay tetrahedralization fills it without gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import AABB
+from repro.octree.linear import LinearOctree
+
+
+def _boundary_axis_mask(points: np.ndarray, domain: AABB, tol: float) -> np.ndarray:
+    """(n, 3) bool mask: True where a point sits on a domain face
+    perpendicular to that axis (so jitter along that axis must be zero)."""
+    lo = np.asarray(domain.lo)
+    hi = np.asarray(domain.hi)
+    on_lo = np.abs(points - lo) <= tol
+    on_hi = np.abs(points - hi) <= tol
+    return on_lo | on_hi
+
+
+def jitter_points(
+    points: np.ndarray,
+    spacing: np.ndarray,
+    domain: AABB,
+    amplitude: float = 0.22,
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministically perturb a graded point set.
+
+    Parameters
+    ----------
+    points:
+        (n, 3) point coordinates.
+    spacing:
+        (n,) local spacing; each point moves at most
+        ``amplitude * spacing`` along each axis.
+    domain:
+        Points are clamped back into this box, and components of the
+        jitter normal to a boundary face the point lies on are zeroed.
+    amplitude:
+        Fraction of local spacing used as the jitter half-range.  Must be
+        < 0.5 so neighboring lattice points can never swap.
+    seed:
+        RNG seed; the same inputs always yield the same mesh.
+    """
+    pts = np.asarray(points, dtype=float)
+    spc = np.asarray(spacing, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3 or spc.shape != (pts.shape[0],):
+        raise ValueError("points must be (n, 3) and spacing (n,)")
+    if not 0.0 <= amplitude < 0.5:
+        raise ValueError("amplitude must be in [0, 0.5)")
+    rng = np.random.default_rng(seed)
+    delta = rng.uniform(-1.0, 1.0, size=pts.shape) * (amplitude * spc)[:, None]
+    tol = 1e-9 * max(domain.size.max(), 1.0)
+    frozen = _boundary_axis_mask(pts, domain, tol)
+    delta[frozen] = 0.0
+    out = pts + delta
+    lo = np.asarray(domain.lo)
+    hi = np.asarray(domain.hi)
+    return np.clip(out, lo, hi)
+
+
+def graded_points(
+    tree: LinearOctree,
+    amplitude: float = 0.22,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract the jittered corner point set of a balanced octree.
+
+    Returns ``(points, spacing)``: the perturbed (n, 3) coordinates and
+    the per-point local spacing (edge length of the smallest adjacent
+    leaf), which downstream consumers use as the local element size.
+    """
+    raw, spacing = tree.corner_lattice()
+    pts = jitter_points(raw, spacing, tree.domain, amplitude=amplitude, seed=seed)
+    return pts, spacing

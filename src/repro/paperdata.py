@@ -1,0 +1,172 @@
+"""Published numbers from the paper, transcribed verbatim.
+
+Every table and every prose figure quote used by the reproduction lives
+here, so that benchmark output can always print "paper" next to
+"measured" and EXPERIMENTS.md can be regenerated mechanically.
+
+Source: D. O'Hallaron, J. Shewchuk, T. Gross, "Architectural
+Implications of a Family of Irregular Applications", HPCA 1998.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: The four applications, ordered by decreasing wave period.
+APPLICATIONS = ("sf10", "sf5", "sf2", "sf1")
+
+#: The PE (subdomain) counts used throughout the paper's tables.
+SUBDOMAIN_COUNTS = (4, 8, 16, 32, 64, 128)
+
+#: Figure 2 — sizes of the Quake meshes.
+MESH_SIZES: Dict[str, Dict[str, int]] = {
+    "sf10": {"nodes": 7_294, "elements": 35_025, "edges": 44_922},
+    "sf5": {"nodes": 30_169, "elements": 151_239, "edges": 190_377},
+    "sf2": {"nodes": 378_747, "elements": 2_067_739, "edges": 2_509_064},
+    "sf1": {"nodes": 2_461_694, "elements": 13_980_162, "edges": 16_684_112},
+}
+
+#: Section 2.1 — "for each node in the mesh, a simulation uses about
+#: 1.2 KByte of memory at runtime"; sf2 needs ~450 MBytes.
+MEMORY_BYTES_PER_NODE = 1.2 * 1024
+SF2_MEMORY_MBYTES = 450.0
+
+#: Section 2.2 — simulated duration and number of explicit time steps.
+NUM_TIME_STEPS = 6000
+SIMULATED_SECONDS = 60.0
+
+#: Section 2.2 — each node connects to an average of 13 neighbors, so a
+#: row of K holds on average 14 * 3 = 42 nonzeros.
+AVG_NODE_NEIGHBORS = 13.0
+AVG_ROW_NONZEROS = 42.0
+
+#: Section 2.3 — SMVPs consume over 80% of sequential running time.
+SMVP_RUNTIME_FRACTION = 0.80
+
+
+@dataclass(frozen=True)
+class SmvpProperties:
+    """One cell of Figure 7 (one application at one subdomain count).
+
+    Attributes mirror the paper's symbols: ``F`` flops per PE per SMVP,
+    ``C_max`` maximum communication words on any PE, ``B_max`` maximum
+    communication blocks on any PE, ``M_avg`` average message size in
+    64-bit words.  ``f_over_c`` is the published (rounded) ratio.
+    """
+
+    F: int
+    C_max: int
+    B_max: int
+    M_avg: int
+    f_over_c: int
+
+
+#: Figure 7 — Quake SMVP properties, keyed by (application, subdomains).
+SMVP_PROPERTIES: Dict[Tuple[str, int], SmvpProperties] = {
+    ("sf10", 4): SmvpProperties(453_924, 2_352, 6, 369, 193),
+    ("sf5", 4): SmvpProperties(1_899_396, 7_746, 6, 1_290, 245),
+    ("sf2", 4): SmvpProperties(24_640_110, 55_338, 6, 8_682, 445),
+    ("sf1", 4): SmvpProperties(162_372_024, 186_162, 6, 27_540, 872),
+    ("sf10", 8): SmvpProperties(235_566, 2_550, 12, 237, 92),
+    ("sf5", 8): SmvpProperties(970_740, 7_080, 12, 699, 137),
+    ("sf2", 8): SmvpProperties(12_414_006, 35_148, 10, 4_152, 353),
+    ("sf1", 8): SmvpProperties(81_602_442, 151_764, 14, 13_761, 538),
+    ("sf10", 16): SmvpProperties(122_742, 2_208, 18, 159, 56),
+    ("sf5", 16): SmvpProperties(496_872, 5_292, 20, 342, 94),
+    ("sf2", 16): SmvpProperties(6_278_076, 28_482, 16, 1_920, 220),
+    ("sf1", 16): SmvpProperties(41_116_374, 119_280, 18, 7_434, 345),
+    ("sf10", 32): SmvpProperties(64_980, 2_172, 30, 87, 30),
+    ("sf5", 32): SmvpProperties(257_004, 4_476, 30, 213, 57),
+    ("sf2", 32): SmvpProperties(3_191_436, 24_018, 26, 1_239, 133),
+    ("sf1", 32): SmvpProperties(20_740_734, 87_228, 26, 4_044, 238),
+    ("sf10", 64): SmvpProperties(34_956, 1_764, 38, 57, 20),
+    ("sf5", 64): SmvpProperties(134_424, 4_296, 40, 135, 31),
+    ("sf2", 64): SmvpProperties(1_632_708, 20_520, 36, 765, 80),
+    ("sf1", 64): SmvpProperties(10_511_586, 73_062, 38, 2_712, 144),
+    ("sf10", 128): SmvpProperties(18_954, 1_740, 62, 36, 11),
+    ("sf5", 128): SmvpProperties(70_956, 3_360, 52, 135, 21),
+    ("sf2", 128): SmvpProperties(838_224, 16_260, 50, 459, 52),
+    ("sf1", 128): SmvpProperties(5_332_806, 51_048, 46, 1_515, 104),
+}
+
+#: Figure 6 — computed relative error bounds beta on T_c.
+BETA_BOUNDS: Dict[Tuple[str, int], float] = {
+    ("sf10", 4): 1.00, ("sf5", 4): 1.00, ("sf2", 4): 1.00, ("sf1", 4): 1.00,
+    ("sf10", 8): 1.00, ("sf5", 8): 1.00, ("sf2", 8): 1.00, ("sf1", 8): 1.00,
+    ("sf10", 16): 1.09, ("sf5", 16): 1.10, ("sf2", 16): 1.07, ("sf1", 16): 1.00,
+    ("sf10", 32): 1.01, ("sf5", 32): 1.01, ("sf2", 32): 1.15, ("sf1", 32): 1.00,
+    ("sf10", 64): 1.03, ("sf5", 64): 1.08, ("sf2", 64): 1.11, ("sf1", 64): 1.05,
+    ("sf10", 128): 1.03, ("sf5", 128): 1.04, ("sf2", 128): 1.04, ("sf1", 128): 1.11,
+}
+
+#: Section 3.1 — measured amortized time per flop for the local SMVP.
+T_F_MEASURED_NS = {
+    "Cray T3D (150 MHz Alpha 21064, cc -O3)": 30.0,
+    "Cray T3E (300 MHz Alpha 21164, cc -O3)": 14.0,
+}
+
+#: Section 4 — the T3E runs the local SMVP at ~70 MFLOPS, 12% of its
+#: 600 MFLOPS peak.
+T3E_LOCAL_SMVP_MFLOPS = 70.0
+T3E_PEAK_MFLOPS = 600.0
+
+#: Section 3.3 — measured communication constants for the Cray T3E.
+T3E_T_L_US = 22.0
+T3E_T_W_NS = 55.0
+
+#: Section 1 — EXFLOW (Cypher et al.) vs Quake sf2/128 comparison.
+EXFLOW_COMPARISON = {
+    "exflow": {
+        "mbytes_per_pe": 2.0,
+        "comm_kbytes_per_mflop": 144.0,
+        "messages_per_mflop": 66.0,
+        "avg_message_kbytes": 2.2,
+    },
+    "quake_sf2_128": {
+        "mbytes_per_pe": 2.0,
+        "comm_kbytes_per_mflop": 155.0,
+        "messages_per_mflop": 60.0,
+        "avg_message_kbytes": 3.6,
+    },
+}
+
+#: Section 4 headline requirements (64-bit words throughout).
+PROSE_CLAIMS = {
+    # Figure 8: worst-case required bisection bandwidth (MB/s), E=0.9,
+    # 200 MFLOP PEs.
+    "bisection_worst_mbytes_per_s": 700.0,
+    # Figure 9: sustained per-PE bandwidth (MB/s) sufficient for all sf2
+    # instances at E=0.9.
+    "sustained_bw_100mflops_mbytes_per_s": 120.0,
+    "sustained_bw_200mflops_mbytes_per_s": 300.0,
+    # Figure 10(a): max tolerable block latency at infinite burst
+    # bandwidth, sf2/128, 200 MFLOPS, E=0.9, maximal blocks.
+    "max_latency_maximal_blocks_us": 3.0,
+    # Figure 10(b): same with 4-word blocks.
+    "max_latency_4word_blocks_ns": 100.0,
+    # Figure 11 extremes (half-bandwidth targets).
+    "half_bw_hardest_mbytes_per_s": 600.0,
+    "half_latency_hardest_maximal_us": 2.0,
+    "half_latency_hardest_4word_ns": 70.0,
+    "half_bw_easiest_mbytes_per_s": 3.0,
+    "half_latency_easiest_maximal_ms": 8.0,
+    "half_latency_easiest_4word_us": 10.0,
+}
+
+#: Hypothetical machines used throughout Section 4.
+CURRENT_MACHINE_MFLOPS = 100.0
+FUTURE_MACHINE_MFLOPS = 200.0
+
+#: Efficiency targets plotted in Figures 8-11.
+EFFICIENCY_TARGETS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: 64-bit floating point words everywhere.
+BYTES_PER_WORD = 8
+
+
+def period_of(application: str) -> float:
+    """Wave period in seconds encoded in an application name ('sf10' -> 10)."""
+    if not application.startswith("sf"):
+        raise ValueError(f"unknown application {application!r}")
+    return float(application[2:])

@@ -1,0 +1,166 @@
+"""Partition result type, partitioner interface, and recursion driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+from repro.mesh.core import TetMesh
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of mesh elements to ``num_parts`` subdomains.
+
+    Attributes
+    ----------
+    parts:
+        ``(num_elements,)`` integer array; ``parts[e]`` is the
+        subdomain (PE index) owning element ``e``.
+    num_parts:
+        Number of subdomains ``p``.
+    method:
+        Name of the partitioner that produced the assignment.
+    """
+
+    parts: np.ndarray
+    num_parts: int
+    method: str = "unknown"
+
+    def __post_init__(self) -> None:
+        parts = np.asarray(self.parts, dtype=np.int32)
+        object.__setattr__(self, "parts", parts)
+        if parts.ndim != 1:
+            raise ValueError("parts must be a 1D array")
+        if self.num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        if parts.size and (parts.min() < 0 or parts.max() >= self.num_parts):
+            raise ValueError("part index out of range")
+
+    @property
+    def num_elements(self) -> int:
+        return self.parts.shape[0]
+
+    def part_sizes(self) -> np.ndarray:
+        """Number of elements in each subdomain, shape (num_parts,)."""
+        return np.bincount(self.parts, minlength=self.num_parts)
+
+    def elements_of(self, part: int) -> np.ndarray:
+        """Element indices assigned to one subdomain."""
+        if not 0 <= part < self.num_parts:
+            raise ValueError(f"part {part} out of range")
+        return np.flatnonzero(self.parts == part)
+
+    def imbalance(self) -> float:
+        """``max_part_size / ideal_size`` (1.0 = perfectly balanced)."""
+        sizes = self.part_sizes()
+        ideal = self.num_elements / self.num_parts
+        return float(sizes.max() / ideal) if ideal > 0 else 1.0
+
+
+#: A bisection function: given (mesh, element_ids, rng, target_left_count)
+#: return a boolean mask over element_ids selecting the "left" side with
+#: exactly target_left_count True entries.
+BisectFn = Callable[[TetMesh, np.ndarray, np.random.Generator, int], np.ndarray]
+
+
+def recursive_bisection(
+    mesh: TetMesh,
+    num_parts: int,
+    bisect: BisectFn,
+    seed: int = 0,
+) -> np.ndarray:
+    """Drive a bisection function down to ``num_parts`` subdomains.
+
+    Parts are numbered so that each bisection splits a contiguous part
+    range: the root cut separates parts ``[0, ceil(p/2))`` from
+    ``[ceil(p/2), p)``.  For non-power-of-two ``p``, element counts are
+    divided proportionally to the part counts on each side, keeping all
+    final parts within one element of ideal balance.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    parts = np.zeros(mesh.num_elements, dtype=np.int32)
+    rng = np.random.default_rng(seed)
+    stack = [(np.arange(mesh.num_elements, dtype=np.int64), 0, num_parts)]
+    while stack:
+        ids, first_part, p = stack.pop()
+        if p == 1:
+            parts[ids] = first_part
+            continue
+        p_left = (p + 1) // 2
+        target_left = int(round(len(ids) * p_left / p))
+        target_left = min(max(target_left, 0), len(ids))
+        left_mask = bisect(mesh, ids, rng, target_left)
+        if left_mask.dtype != bool or left_mask.shape != ids.shape:
+            raise ValueError("bisect must return a boolean mask over ids")
+        if int(left_mask.sum()) != target_left:
+            raise ValueError(
+                f"bisect returned {int(left_mask.sum())} left elements, "
+                f"expected {target_left}"
+            )
+        stack.append((ids[left_mask], first_part, p_left))
+        stack.append((ids[~left_mask], first_part + p_left, p - p_left))
+    return parts
+
+
+class Partitioner:
+    """Base class: subclasses implement :meth:`partition`."""
+
+    #: Registry name; subclasses must override.
+    name = "abstract"
+
+    def partition(
+        self, mesh: TetMesh, num_parts: int, seed: int = 0
+    ) -> Partition:
+        raise NotImplementedError
+
+    @staticmethod
+    def split_by_order(values: np.ndarray, target_left: int) -> np.ndarray:
+        """Boolean mask marking the ``target_left`` smallest ``values``.
+
+        Ties are broken deterministically by index (stable argsort), so
+        exact balance is always achievable even with duplicate values.
+        """
+        order = np.argsort(values, kind="stable")
+        mask = np.zeros(len(values), dtype=bool)
+        mask[order[:target_left]] = True
+        return mask
+
+
+#: Populated by repro.partition.register_all() at import time.
+PARTITIONERS: Dict[str, Type[Partitioner]] = {}
+
+
+def register(cls: Type[Partitioner]) -> Type[Partitioner]:
+    """Class decorator adding a partitioner to the registry."""
+    if cls.name in PARTITIONERS:
+        raise ValueError(f"duplicate partitioner name {cls.name!r}")
+    PARTITIONERS[cls.name] = cls
+    return cls
+
+
+def partition_mesh(
+    mesh: TetMesh,
+    num_parts: int,
+    method: str = "rcb",
+    seed: int = 0,
+) -> Partition:
+    """Partition a mesh's elements into ``num_parts`` subdomains.
+
+    ``method`` is one of the registry names (``sorted(PARTITIONERS)``).
+    """
+    # Import implementations lazily to avoid import cycles; they
+    # register themselves on first use.
+    from repro.partition import register_all
+
+    register_all()
+    try:
+        cls = PARTITIONERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; available: {sorted(PARTITIONERS)}"
+        ) from None
+    return cls().partition(mesh, num_parts, seed=seed)

@@ -1,0 +1,107 @@
+"""Greedy graph-growing bisection.
+
+A classic cheap combinatorial partitioner: pick a peripheral seed
+element (found by a double breadth-first search), grow a region through
+face adjacencies until it holds the target number of elements, and call
+that one side of the cut.  Disconnected leftovers are handled by
+reseeding.  Included as a combinatorial baseline between ``random`` and
+``spectral``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import breadth_first_order
+
+from repro.mesh.core import TetMesh
+from repro.mesh.topology import element_adjacency
+from repro.partition.base import (
+    Partition,
+    Partitioner,
+    recursive_bisection,
+    register,
+)
+
+
+def peripheral_vertex(adj: sp.csr_matrix, start: int) -> int:
+    """Approximate peripheral vertex: the last vertex of a BFS from the
+    last vertex of a BFS from ``start`` (the standard double sweep)."""
+    order, _ = breadth_first_order(adj, start, directed=False, return_predecessors=True)
+    far = int(order[-1])
+    order, _ = breadth_first_order(adj, far, directed=False, return_predecessors=True)
+    return int(order[-1])
+
+
+def grow_region(
+    adj: sp.csr_matrix, seed_vertex: int, target: int
+) -> np.ndarray:
+    """Boolean mask of a BFS region of exactly ``target`` vertices.
+
+    If a connected component is exhausted early, growth restarts from
+    the lowest-numbered unvisited vertex.
+    """
+    n = adj.shape[0]
+    if not 0 <= target <= n:
+        raise ValueError("target out of range")
+    mask = np.zeros(n, dtype=bool)
+    taken = 0
+    next_seed = seed_vertex
+    while taken < target:
+        order, _ = breadth_first_order(
+            adj, next_seed, directed=False, return_predecessors=True
+        )
+        order = order[~mask[order]]
+        room = target - taken
+        chosen = order[:room]
+        mask[chosen] = True
+        taken += len(chosen)
+        if taken < target:
+            remaining = np.flatnonzero(~mask)
+            next_seed = int(remaining[0])
+    return mask
+
+
+@register
+class GraphGrowing(Partitioner):
+    """Recursive greedy-growing bisection of the element graph."""
+
+    name = "growing"
+
+    def partition(
+        self, mesh: TetMesh, num_parts: int, seed: int = 0
+    ) -> Partition:
+        adj_full = element_adjacency(mesh.tets).tocsr()
+
+        def bisect(mesh, ids, rng, target_left):
+            sub = adj_full[ids][:, ids]
+            start = int(rng.integers(len(ids)))
+            seed_vertex = peripheral_vertex(sub, start)
+            return grow_region(sub, seed_vertex, target_left)
+
+        parts = recursive_bisection(mesh, num_parts, bisect, seed=seed)
+        return Partition(parts, num_parts, method=self.name)
+
+
+@register
+class RandomPartition(Partitioner):
+    """Balanced random scatter — the worst-case baseline.
+
+    Elements are randomly permuted and dealt into equal blocks; there is
+    no locality at all, so nearly every node is shared.  Useful to show
+    how much the locality-aware partitioners actually buy.
+    """
+
+    name = "random"
+
+    def partition(
+        self, mesh: TetMesh, num_parts: int, seed: int = 0
+    ) -> Partition:
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(mesh.num_elements)
+        parts = np.empty(mesh.num_elements, dtype=np.int32)
+        # Deal permuted elements into num_parts near-equal blocks.
+        bounds = np.linspace(0, mesh.num_elements, num_parts + 1).astype(int)
+        for part in range(num_parts):
+            parts[perm[bounds[part] : bounds[part + 1]]] = part
+        return Partition(parts, num_parts, method=self.name)

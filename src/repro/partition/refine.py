@@ -1,0 +1,139 @@
+"""Greedy boundary refinement of an existing partition.
+
+The recursive bisection partitioners decide each cut once and never
+revisit it.  A standard post-pass (in the Kernighan-Lin / Fiduccia-
+Mattheyses tradition, simplified to a greedy hill-climb) walks the
+subdomain boundaries and moves individual elements between neighboring
+parts whenever the move reduces the number of *shared mesh nodes* — the
+quantity that directly sets the communication volume C — without
+hurting load balance beyond a tolerance.
+
+This is deliberately a local polish, not a global method: it cannot fix
+a bad cut, but it reliably shaves a few percent off shared nodes and
+smooths the jagged staircase boundaries coordinate bisection leaves in
+graded regions (see the partitioner ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.mesh.core import TetMesh
+from repro.partition.base import Partition
+
+
+def _incidence_counts(mesh: TetMesh, parts: np.ndarray) -> Dict[Tuple[int, int], int]:
+    """Count of elements of each part touching each node."""
+    counts: Dict[Tuple[int, int], int] = {}
+    for element, tet in enumerate(mesh.tets):
+        part = int(parts[element])
+        for node in tet:
+            key = (int(node), part)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def smooth_partition(
+    mesh: TetMesh,
+    partition: Partition,
+    max_passes: int = 4,
+    balance_tolerance: float = 1.03,
+) -> Partition:
+    """Greedily move boundary elements to reduce shared nodes.
+
+    Parameters
+    ----------
+    mesh, partition:
+        The partition to refine (not modified; a new one is returned).
+    max_passes:
+        Sweeps over the boundary; each pass only keeps going while it
+        finds improving moves.
+    balance_tolerance:
+        Maximum allowed ``part_size / ideal_size`` after any move.
+
+    Returns
+    -------
+    Partition
+        Refined assignment (method name suffixed with ``+smooth``).
+    """
+    if partition.num_elements != mesh.num_elements:
+        raise ValueError("partition does not match mesh")
+    if balance_tolerance < 1.0:
+        raise ValueError("balance_tolerance must be >= 1")
+    parts = partition.parts.copy()
+    p = partition.num_parts
+    if p == 1:
+        return partition
+    tets = mesh.tets
+    ideal = mesh.num_elements / p
+    max_size = int(np.floor(balance_tolerance * ideal))
+    sizes = np.bincount(parts, minlength=p)
+
+    counts = _incidence_counts(mesh, parts)
+    # residency[node] = set of parts whose elements touch the node.
+    residency = [set() for _ in range(mesh.num_nodes)]
+    for (node, part), c in counts.items():
+        if c > 0:
+            residency[node].add(part)
+
+    def sharing_delta(element: int, src: int, dst: int) -> int:
+        """Change in total shared-node count if element moves src->dst."""
+        delta = 0
+        for node in tets[element]:
+            node = int(node)
+            res = residency[node]
+            before = len(res) >= 2
+            # After the move: src loses one incidence, dst gains one.
+            leaves_src = counts.get((node, src), 0) == 1
+            after_set_size = len(res) + (dst not in res) - leaves_src
+            after = after_set_size >= 2
+            delta += int(after) - int(before)
+        return delta
+
+    def apply_move(element: int, src: int, dst: int) -> None:
+        parts[element] = dst
+        sizes[src] -= 1
+        sizes[dst] += 1
+        for node in tets[element]:
+            node = int(node)
+            counts[(node, src)] = counts.get((node, src), 0) - 1
+            if counts[(node, src)] == 0:
+                residency[node].discard(src)
+            counts[(node, dst)] = counts.get((node, dst), 0) + 1
+            residency[node].add(dst)
+
+    for _pass in range(max_passes):
+        moved = 0
+        # Boundary elements: any corner node resident on >= 2 parts.
+        boundary = [
+            e
+            for e in range(mesh.num_elements)
+            if any(len(residency[int(n)]) >= 2 for n in tets[e])
+        ]
+        for element in boundary:
+            src = int(parts[element])
+            if sizes[src] <= 1:
+                continue
+            # Candidate destinations: other parts present on its nodes.
+            candidates = set()
+            for node in tets[element]:
+                candidates |= residency[int(node)]
+            candidates.discard(src)
+            best_dst = None
+            best_delta = 0
+            for dst in candidates:
+                if sizes[dst] + 1 > max_size:
+                    continue
+                delta = sharing_delta(element, src, int(dst))
+                if delta < best_delta:
+                    best_delta = delta
+                    best_dst = int(dst)
+            if best_dst is not None:
+                apply_move(element, src, best_dst)
+                moved += 1
+        if moved == 0:
+            break
+
+    return Partition(parts, p, method=f"{partition.method}+smooth")

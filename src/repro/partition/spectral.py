@@ -1,0 +1,116 @@
+"""Recursive spectral bisection.
+
+The paper cites spectral partitioning (Barnard & Simon; Chaco) as the
+main alternative family to geometric bisection.  Each cut sorts the
+elements by the Fiedler vector (the eigenvector of the graph Laplacian
+with the second-smallest eigenvalue) of the *element* adjacency graph
+(elements adjacent when they share a face) and splits at the exact
+balance point.
+
+The Fiedler vector is computed with LOBPCG, deflating the constant
+vector, with a dense-eigensolver fallback for tiny subproblems and a
+degenerate-but-correct handling of disconnected subgraphs (where the
+"Fiedler" vector is a component indicator — exactly the split you want).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import lobpcg
+
+from repro.mesh.core import TetMesh
+from repro.mesh.topology import element_adjacency
+from repro.partition.base import (
+    Partition,
+    Partitioner,
+    recursive_bisection,
+    register,
+)
+
+#: Below this many vertices, use a dense eigensolver (more robust).
+_DENSE_CUTOFF = 64
+
+
+def graph_laplacian(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """Combinatorial Laplacian ``D - A`` of an undirected graph."""
+    dense_adj = adj.astype(np.float64)
+    degrees = np.asarray(dense_adj.sum(axis=1)).ravel()
+    return sp.diags(degrees) - dense_adj
+
+
+def fiedler_vector(
+    adj: sp.csr_matrix,
+    rng: np.random.Generator,
+    tol: float = 1e-3,
+    maxiter: int = 200,
+) -> np.ndarray:
+    """Second-smallest Laplacian eigenvector of a graph.
+
+    For disconnected graphs the returned vector separates components
+    (eigenvalue ~0), which is the correct bisection behaviour.
+    """
+    n = adj.shape[0]
+    lap = graph_laplacian(adj)
+    if n <= _DENSE_CUTOFF:
+        eigvals, eigvecs = np.linalg.eigh(lap.toarray())
+        return eigvecs[:, 1] if n > 1 else np.zeros(n)
+    ones = np.ones((n, 1)) / np.sqrt(n)
+    x0 = rng.normal(size=(n, 1))
+    x0 -= ones * (ones.T @ x0)
+    # Jacobi preconditioner: inverse degrees (plus epsilon for isolated
+    # vertices).
+    inv_diag = 1.0 / np.maximum(lap.diagonal(), 1e-12)
+    precond = sp.diags(inv_diag)
+    try:
+        # The split only needs the *ordering* induced by the Fiedler
+        # vector, so a loose tolerance is fine; LOBPCG's "did not reach
+        # tolerance" warnings are expected and suppressed.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            eigvals, eigvecs = lobpcg(
+                lap,
+                x0,
+                M=precond,
+                Y=ones,
+                tol=tol,
+                maxiter=maxiter,
+                largest=False,
+            )
+        vec = eigvecs[:, 0]
+        if np.all(np.isfinite(vec)):
+            return vec
+    except Exception:  # pragma: no cover - lobpcg convergence quirks
+        pass
+    # Fallback: a few rounds of inverse power iteration on (L + sigma I).
+    sigma = 1e-3 * float(lap.diagonal().mean() + 1.0)
+    shifted = (lap + sigma * sp.identity(n)).tocsc()
+    solve = sp.linalg.factorized(shifted)
+    vec = rng.normal(size=n)
+    for _ in range(20):
+        vec -= vec.mean()
+        vec = solve(vec)
+        vec /= np.linalg.norm(vec)
+    return vec
+
+
+@register
+class SpectralBisection(Partitioner):
+    """Recursive Fiedler-vector bisection of the element graph."""
+
+    name = "spectral"
+
+    def partition(
+        self, mesh: TetMesh, num_parts: int, seed: int = 0
+    ) -> Partition:
+        adj_full = element_adjacency(mesh.tets).tocsr()
+
+        def bisect(mesh, ids, rng, target_left):
+            sub = adj_full[ids][:, ids]
+            vec = fiedler_vector(sub, rng)
+            return self.split_by_order(vec, target_left)
+
+        parts = recursive_bisection(mesh, num_parts, bisect, seed=seed)
+        return Partition(parts, num_parts, method=self.name)

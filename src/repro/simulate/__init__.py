@@ -1,0 +1,27 @@
+"""Bulk-synchronous machine simulation of the parallel SMVP.
+
+The paper derives T_comp and T_comm analytically and validates the
+parameters against real machines.  We cannot measure a Cray T3E, so we
+do the next best thing: *execute* the phase structure of the SMVP on a
+simulated machine whose PEs have exactly the model's three parameters
+(T_f, T_l, T_w), and check the analytic model against the simulated
+times — in particular that Equation (2)'s pessimistic coupling of C_max
+and B_max never overestimates the simulated communication phase by more
+than the β bound of Section 3.4.
+
+* :mod:`~repro.simulate.bsp` — the simulator: barrier-synchronized
+  phases (the paper's assumption), a skewed mode without the barrier,
+  and a communication/computation overlap mode (the "difficult
+  modification" of the paper's footnote 1, here as an extension study).
+* :mod:`~repro.simulate.validate` — model-vs-simulation comparison.
+"""
+
+from repro.simulate.bsp import BspSimulator, PhaseTimes
+from repro.simulate.validate import ModelValidation, validate_model
+
+__all__ = [
+    "BspSimulator",
+    "PhaseTimes",
+    "ModelValidation",
+    "validate_model",
+]

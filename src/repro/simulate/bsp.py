@@ -1,0 +1,184 @@
+"""The BSP phase simulator.
+
+Machine model (paper Figure 5): each PE is a processor + memory + a
+network interface with one input and one output link; the
+interconnection network itself has infinite capacity and constant
+latency (the paper argues this is reasonable for tightly coupled
+systems), so *all* communication cost accrues at the PEs.
+
+Three execution modes:
+
+``barrier``
+    The paper's model: a global barrier separates the phases.  The
+    computation phase ends when the slowest PE finishes (``max_i F_i
+    T_f``); during the communication phase each PE's interface
+    serializes its own blocks (``max_i (B_i T_l + C_i T_w)``).
+
+``skewed``
+    No barrier: each PE starts communicating as soon as its own local
+    product is done.  A block transfer from i to j starts when i has
+    finished computing and both interfaces are free, and occupies both
+    for ``T_l + words T_w``.  Scheduled greedily (earliest-ready
+    first) — a classic list simulation with an event heap.
+
+``overlap``
+    The footnote-1 extension: a PE's *interior* flops (rows not touched
+    by any shared node) can overlap communication; only the *boundary*
+    flops must precede the exchange.  Per PE:
+    ``T_i = max(F_i T_f, F_i^boundary T_f + B_i T_l + C_i T_w)`` and the
+    SMVP ends at ``max_i T_i``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.machine import Machine
+from repro.smvp.schedule import CommSchedule
+
+#: Execution modes accepted by :meth:`BspSimulator.run`.
+MODES = ("barrier", "skewed", "overlap")
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Simulated timing of one SMVP."""
+
+    mode: str
+    t_comp: float  # end of the (global) computation phase
+    t_comm: float  # duration of the communication phase
+    t_smvp: float  # total
+    per_pe_comm: np.ndarray  # each PE's own communication busy time
+
+    @property
+    def efficiency(self) -> float:
+        """T_comp / T_smvp, the paper's efficiency definition."""
+        return self.t_comp / self.t_smvp if self.t_smvp > 0 else 1.0
+
+
+class BspSimulator:
+    """Simulate one SMVP on a (T_f, T_l, T_w) machine.
+
+    Parameters
+    ----------
+    flops_per_pe:
+        F_i for each PE (from the distribution or the executor).
+    schedule:
+        The communication schedule (messages with word counts).
+    machine:
+        Must have ``tl`` and ``tw`` set.
+    boundary_flops_per_pe:
+        Only needed for ``overlap`` mode: the flops that must complete
+        before the exchange can start.
+    """
+
+    def __init__(
+        self,
+        flops_per_pe: np.ndarray,
+        schedule: CommSchedule,
+        machine: Machine,
+        boundary_flops_per_pe: Optional[np.ndarray] = None,
+    ) -> None:
+        if machine.tl is None or machine.tw is None:
+            raise ValueError(f"machine {machine.name} lacks T_l/T_w")
+        self.flops = np.asarray(flops_per_pe, dtype=np.float64)
+        self.schedule = schedule
+        self.machine = machine
+        if self.flops.shape != (schedule.num_parts,):
+            raise ValueError("flops_per_pe length must equal PE count")
+        self.boundary_flops = (
+            None
+            if boundary_flops_per_pe is None
+            else np.asarray(boundary_flops_per_pe, dtype=np.float64)
+        )
+
+    # -- per-PE communication busy times ---------------------------------
+
+    def _comm_busy(self) -> np.ndarray:
+        """B_i T_l + C_i T_w for every PE."""
+        tl, tw = self.machine.tl, self.machine.tw
+        return (
+            self.schedule.blocks_per_pe * tl + self.schedule.words_per_pe * tw
+        )
+
+    # -- modes -------------------------------------------------------------
+
+    def run(self, mode: str = "barrier") -> PhaseTimes:
+        """Simulate one SMVP in the given mode."""
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if mode == "barrier":
+            return self._run_barrier()
+        if mode == "skewed":
+            return self._run_skewed()
+        return self._run_overlap()
+
+    def _run_barrier(self) -> PhaseTimes:
+        t_comp = float((self.flops * self.machine.tf).max())
+        busy = self._comm_busy()
+        t_comm = float(busy.max()) if len(busy) else 0.0
+        return PhaseTimes(
+            mode="barrier",
+            t_comp=t_comp,
+            t_comm=t_comm,
+            t_smvp=t_comp + t_comm,
+            per_pe_comm=busy,
+        )
+
+    def _run_skewed(self) -> PhaseTimes:
+        tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
+        ready = self.flops * tf  # when each PE may start communicating
+        free = ready.copy()  # when each PE's interface is next free
+        # Transfers, each occupying both endpoints' interfaces.
+        pending: List[Tuple[float, int, int, int, float]] = []
+        for k, msg in enumerate(self.schedule.messages):
+            duration = tl + msg.words * tw
+            start_lb = max(ready[msg.src], ready[msg.dst])
+            heapq.heappush(pending, (start_lb, k, msg.src, msg.dst, duration))
+        finish = ready.copy()
+        while pending:
+            start_lb, k, src, dst, duration = heapq.heappop(pending)
+            start = max(start_lb, free[src], free[dst])
+            if start > start_lb:
+                # Both interfaces were not actually free yet; requeue
+                # with the tightened bound so earliest-ready runs first.
+                heapq.heappush(pending, (start, k, src, dst, duration))
+                continue
+            end = start + duration
+            free[src] = end
+            free[dst] = end
+            finish[src] = max(finish[src], end)
+            finish[dst] = max(finish[dst], end)
+        t_comp = float(ready.max())
+        t_smvp = float(finish.max())
+        return PhaseTimes(
+            mode="skewed",
+            t_comp=t_comp,
+            t_comm=t_smvp - t_comp,
+            t_smvp=t_smvp,
+            per_pe_comm=finish - ready,
+        )
+
+    def _run_overlap(self) -> PhaseTimes:
+        if self.boundary_flops is None:
+            raise ValueError("overlap mode needs boundary_flops_per_pe")
+        if np.any(self.boundary_flops > self.flops):
+            raise ValueError("boundary flops exceed total flops")
+        tf = self.machine.tf
+        busy = self._comm_busy()
+        per_pe = np.maximum(
+            self.flops * tf, self.boundary_flops * tf + busy
+        )
+        t_smvp = float(per_pe.max())
+        t_comp = float((self.flops * tf).max())
+        return PhaseTimes(
+            mode="overlap",
+            t_comp=t_comp,
+            t_comm=t_smvp - t_comp,
+            t_smvp=t_smvp,
+            per_pe_comm=busy,
+        )

@@ -1,0 +1,46 @@
+"""The parallel sparse matrix-vector product (SMVP).
+
+This subpackage implements the paper's Section 2.3: the data
+distribution induced by an element partition, the pairwise
+exchange-and-sum communication schedule for shared nodes, the local
+SMVP kernels, and a distributed executor that runs the whole global
+SMVP ``y = K x`` the way ``p`` PEs would — verifiably equal to the
+sequential product.
+
+* :mod:`~repro.smvp.distribution` — node/element residency: which nodes
+  live on which PEs, with replicated storage for shared nodes.
+* :mod:`~repro.smvp.schedule` — the communication schedule: one message
+  per ordered neighbor pair carrying 3 words (x/y/z displacement) per
+  shared node; per-PE word and block counts (the C_i and B_i of the
+  paper's model).
+* :mod:`~repro.smvp.kernels` — local SMVP kernels (scipy CSR, 3x3 BSR,
+  a pure-Python reference) and T_f measurement.
+* :mod:`~repro.smvp.executor` — the two-phase bulk-synchronous
+  distributed SMVP.
+* :mod:`~repro.smvp.spark98` — a Spark98-style named kernel suite.
+"""
+
+from repro.smvp.distribution import DataDistribution
+from repro.smvp.schedule import CommSchedule, Message
+from repro.smvp.kernels import (
+    KERNELS,
+    LocalKernel,
+    csr_kernel,
+    bsr_kernel,
+    python_csr_kernel,
+    measure_tf,
+)
+from repro.smvp.executor import DistributedSMVP
+
+__all__ = [
+    "DataDistribution",
+    "CommSchedule",
+    "Message",
+    "KERNELS",
+    "LocalKernel",
+    "csr_kernel",
+    "bsr_kernel",
+    "python_csr_kernel",
+    "measure_tf",
+    "DistributedSMVP",
+]

@@ -1,0 +1,186 @@
+"""Data distribution for the parallel SMVP.
+
+Implements the storage scheme of the paper's Section 2.3 / Figure 3:
+
+* every element belongs to exactly one PE (the partition);
+* a node resides on every PE owning an element that touches it; nodes
+  touched by several PEs are *shared* and their vector entries are
+  replicated;
+* the stiffness block ``K_ij`` resides on every PE where nodes i and j
+  both reside — concretely, each PE assembles its local matrix from its
+  own elements only, so shared blocks hold partial sums that the
+  communication phase completes.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mesh.core import TetMesh
+from repro.mesh.topology import unique_edges
+from repro.partition.base import Partition
+from repro.partition.metrics import node_part_incidence
+
+
+class DataDistribution:
+    """Residency maps induced by an element partition.
+
+    Parameters
+    ----------
+    mesh:
+        The global mesh.
+    partition:
+        Element-to-PE assignment with ``num_parts`` PEs.
+    """
+
+    def __init__(self, mesh: TetMesh, partition: Partition) -> None:
+        if partition.num_elements != mesh.num_elements:
+            raise ValueError("partition does not match mesh")
+        self.mesh = mesh
+        self.partition = partition
+
+    @property
+    def num_parts(self) -> int:
+        return self.partition.num_parts
+
+    # -- residency ---------------------------------------------------------
+
+    @cached_property
+    def node_parts(self) -> sp.csr_matrix:
+        """Boolean (num_nodes, num_parts) residency matrix."""
+        return node_part_incidence(self.mesh, self.partition)
+
+    @cached_property
+    def node_residency(self) -> np.ndarray:
+        """Number of PEs each node resides on (>= 1)."""
+        return np.asarray(self.node_parts.sum(axis=1)).ravel().astype(np.int64)
+
+    @cached_property
+    def shared_nodes(self) -> np.ndarray:
+        """Global indices of nodes residing on two or more PEs."""
+        return np.flatnonzero(self.node_residency >= 2)
+
+    def local_elements(self, part: int) -> np.ndarray:
+        """Element indices owned by one PE."""
+        return self.partition.elements_of(part)
+
+    @cached_property
+    def _part_nodes(self) -> List[np.ndarray]:
+        """Per-PE sorted global node index arrays."""
+        csc = self.node_parts.tocsc()
+        out = []
+        for part in range(self.num_parts):
+            nodes = csc.indices[csc.indptr[part] : csc.indptr[part + 1]]
+            out.append(np.sort(nodes.astype(np.int64)))
+        return out
+
+    def local_nodes(self, part: int) -> np.ndarray:
+        """Sorted global indices of the nodes residing on one PE."""
+        return self._part_nodes[part]
+
+    def global_to_local(self, part: int, global_nodes: np.ndarray) -> np.ndarray:
+        """Map global node indices to a PE's local numbering.
+
+        The local numbering is the position within the sorted
+        ``local_nodes(part)`` array.  Raises if a node does not reside
+        on the PE.
+        """
+        local = self._part_nodes[part]
+        pos = np.searchsorted(local, global_nodes)
+        if np.any(pos >= len(local)) or np.any(local[np.minimum(pos, len(local) - 1)] != global_nodes):
+            raise ValueError(f"node not resident on PE {part}")
+        return pos
+
+    # -- per-PE structural counts -------------------------------------------
+
+    @cached_property
+    def local_counts(self) -> Dict[str, np.ndarray]:
+        """Per-PE structural sizes: nodes, edges, elements, nonzeros, flops.
+
+        ``nonzeros[p]`` is the nonzero count of PE p's local 3n x 3n
+        stiffness matrix: 9 * (local_nodes + 2 * local_edges) (one 3x3
+        block per node and per edge direction).  ``flops[p] = 2 *
+        nonzeros[p]`` — one multiply and one add per nonzero, the
+        paper's F.
+        """
+        p = self.num_parts
+        nodes = np.zeros(p, dtype=np.int64)
+        edges = np.zeros(p, dtype=np.int64)
+        elements = np.zeros(p, dtype=np.int64)
+        tets = self.mesh.tets
+        for part in range(p):
+            elem_ids = self.local_elements(part)
+            elements[part] = len(elem_ids)
+            nodes[part] = len(self._part_nodes[part])
+            edges[part] = len(unique_edges(tets[elem_ids]))
+        nonzeros = 9 * (nodes + 2 * edges)
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "elements": elements,
+            "nonzeros": nonzeros,
+            "flops": 2 * nonzeros,
+        }
+
+    @cached_property
+    def boundary_flops(self) -> np.ndarray:
+        """Per-PE flops on matrix rows of *shared* nodes, exactly.
+
+        These are the flops that must complete before the exchange
+        phase can start when overlapping communication with interior
+        computation (the paper's footnote-1 modification; consumed by
+        the BSP simulator's overlap mode).  A shared local node's three
+        rows hold ``9 * (1 + local_degree)`` nonzeros; flops are twice
+        that.
+        """
+        p = self.num_parts
+        shared_mask = self.node_residency >= 2
+        tets = self.mesh.tets
+        out = np.zeros(p, dtype=np.int64)
+        for part in range(p):
+            elem_ids = self.local_elements(part)
+            edges = unique_edges(tets[elem_ids])
+            local_nodes = self._part_nodes[part]
+            shared_local = shared_mask[local_nodes].sum()
+            # An edge (i, j) contributes one off-diagonal block to row i
+            # and one to row j; blocks landing in shared rows are the
+            # (edge, shared-endpoint) incidences.
+            blocks_in_shared_rows = int(shared_mask[edges].sum())
+            nnz_shared = 9 * (shared_local + blocks_in_shared_rows)
+            out[part] = 2 * nnz_shared
+        return out
+
+    @cached_property
+    def pair_shared_counts(self) -> sp.csr_matrix:
+        """(p, p) matrix: entry (i, j) = number of nodes shared by PEs i, j.
+
+        The diagonal holds each PE's resident node count.
+        """
+        inc = self.node_parts.astype(np.int64)
+        return (inc.T @ inc).tocsr()
+
+    @cached_property
+    def pair_shared_nodes(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """Sorted global node lists for each unordered PE pair (i < j).
+
+        Only pairs that actually share nodes appear.  Both PEs of a pair
+        use the same (sorted) list, which is what lets the exchange
+        phase match send and receive buffers entry by entry.
+        """
+        csr = self.node_parts.tocsr()
+        indptr, indices = csr.indptr, csr.indices
+        out: Dict[Tuple[int, int], List[int]] = {}
+        for node in self.shared_nodes:
+            parts = indices[indptr[node] : indptr[node + 1]]
+            for a in range(len(parts)):
+                for b in range(a + 1, len(parts)):
+                    key = (int(parts[a]), int(parts[b]))
+                    out.setdefault(key, []).append(int(node))
+        return {
+            key: np.array(nodes, dtype=np.int64)
+            for key, nodes in sorted(out.items())
+        }

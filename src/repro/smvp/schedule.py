@@ -1,0 +1,147 @@
+"""Communication schedule for the SMVP exchange phase.
+
+Once per SMVP, every pair of PEs sharing mesh nodes exchanges one
+message each way carrying the partial y values for the shared nodes
+(3 words — the x, y, z degrees of freedom — per node, 64-bit words).
+The paper's per-PE model quantities fall straight out of the schedule:
+
+* ``C_i`` — words transferred (sent plus received) by PE i,
+* ``B_i`` — blocks (messages sent plus received) by PE i,
+* ``C_max``, ``B_max`` — their maxima over PEs,
+* ``M_avg`` — total volume over total messages (the paper's average
+  message size),
+* the (p, p) word matrix ``m_ij`` used for bisection volume.
+
+Every message from i to j is matched by one from j to i of equal
+length, so all ``C_i`` are even, and divisible by 3 (three degrees of
+freedom) — the invariants the paper points out under Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.smvp.distribution import DataDistribution
+
+#: Degrees of freedom (vector words) per mesh node.
+WORDS_PER_NODE = 3
+
+#: Bytes per 64-bit communication word.
+BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed block transfer in the exchange phase."""
+
+    src: int
+    dst: int
+    nodes: int  # shared node count carried
+
+    @property
+    def words(self) -> int:
+        return WORDS_PER_NODE * self.nodes
+
+    @property
+    def bytes(self) -> int:
+        return BYTES_PER_WORD * self.words
+
+
+class CommSchedule:
+    """Per-SMVP communication schedule and its summary statistics."""
+
+    def __init__(self, distribution: DataDistribution) -> None:
+        self.distribution = distribution
+
+    @property
+    def num_parts(self) -> int:
+        return self.distribution.num_parts
+
+    @cached_property
+    def messages(self) -> List[Message]:
+        """All directed messages, both directions of every sharing pair."""
+        out = []
+        for (a, b), nodes in self.distribution.pair_shared_nodes.items():
+            count = len(nodes)
+            out.append(Message(src=a, dst=b, nodes=count))
+            out.append(Message(src=b, dst=a, nodes=count))
+        return out
+
+    @cached_property
+    def word_matrix(self) -> np.ndarray:
+        """(p, p) dense array: words sent from PE i to PE j.
+
+        Symmetric by construction; zero diagonal.  This is the matrix
+        ``m`` of the paper's Section 4.2 bisection computation.
+        """
+        p = self.num_parts
+        mat = np.zeros((p, p), dtype=np.int64)
+        for msg in self.messages:
+            mat[msg.src, msg.dst] = msg.words
+        return mat
+
+    @cached_property
+    def words_per_pe(self) -> np.ndarray:
+        """C_i: words sent plus received by each PE."""
+        mat = self.word_matrix
+        return mat.sum(axis=0) + mat.sum(axis=1)
+
+    @cached_property
+    def blocks_per_pe(self) -> np.ndarray:
+        """B_i: messages sent plus received by each PE (maximal blocks)."""
+        mat = self.word_matrix
+        nonzero = mat > 0
+        return (nonzero.sum(axis=0) + nonzero.sum(axis=1)).astype(np.int64)
+
+    @property
+    def c_max(self) -> int:
+        """Maximum words communicated by any PE."""
+        return int(self.words_per_pe.max()) if self.num_parts else 0
+
+    @property
+    def b_max(self) -> int:
+        """Maximum blocks communicated by any PE."""
+        return int(self.blocks_per_pe.max()) if self.num_parts else 0
+
+    @property
+    def total_words(self) -> int:
+        """Total words crossing the network per SMVP (all PEs)."""
+        return int(self.word_matrix.sum())
+
+    @property
+    def total_blocks(self) -> int:
+        """Total messages per SMVP."""
+        return len(self.messages)
+
+    @property
+    def m_avg(self) -> float:
+        """Average message size in words (total volume / total messages)."""
+        blocks = self.total_blocks
+        return self.total_words / blocks if blocks else 0.0
+
+    def neighbors_of(self, part: int) -> np.ndarray:
+        """PEs that exchange messages with ``part``, ascending."""
+        mat = self.word_matrix
+        return np.flatnonzero(mat[part] > 0)
+
+    def bisection_words(self, boundary: int = -1) -> int:
+        """Words crossing the PE-number bisection per SMVP.
+
+        Counts both directions between PEs ``< boundary`` and PEs ``>=
+        boundary`` (default: p/2).  Because the recursive partitioners
+        number parts by bisection, the default boundary corresponds to
+        the top-level geometric cut — the paper's Section 4.2 measure.
+        """
+        p = self.num_parts
+        if boundary < 0:
+            boundary = p // 2
+        if not 0 <= boundary <= p:
+            raise ValueError("boundary out of range")
+        mat = self.word_matrix
+        return int(
+            mat[:boundary, boundary:].sum() + mat[boundary:, :boundary].sum()
+        )

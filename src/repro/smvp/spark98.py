@@ -1,0 +1,153 @@
+"""A Spark98-style kernel suite.
+
+The paper's postscript points to Spark98, "a collection of 10 portable
+sequential and parallel SMVP kernels" distilled from the Quake codes.
+This module is our equivalent: a registry of named end-to-end SMVP
+configurations — storage format x execution style — each runnable on
+any named instance, used by the T_f measurement bench and by the
+``repro-measure`` CLI.
+
+Kernel naming loosely follows Spark98 (``smv`` sequential matrix-
+vector, ``lmv`` local/partitioned, ``mmv`` message-passing style):
+
+========  =============================================================
+name       meaning
+========  =============================================================
+smv0       sequential, CSR storage
+smv1       sequential, 3x3 BSR storage
+smv2       sequential, symmetric upper-triangle storage
+rmv        sequential, pure-Python reference (interpreter bound)
+lmv        partitioned local products only (no exchange) — the
+           computation phase in isolation
+mmv        full distributed SMVP with pairwise exchange (the paper's
+           parallel kernel, executed in-process)
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.material import materials_from_model
+from repro.mesh.core import TetMesh
+from repro.mesh.instances import QuakeInstance, get_instance
+from repro.partition.base import partition_mesh
+from repro.smvp.executor import DistributedSMVP
+from repro.smvp.kernels import KERNELS
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Timing result for one Spark98-style kernel execution."""
+
+    kernel: str
+    instance: str
+    num_parts: int
+    flops: int
+    seconds_per_smvp: float
+
+    @property
+    def tf_ns(self) -> float:
+        """Amortized ns per flop (the paper's T_f)."""
+        return 1e9 * self.seconds_per_smvp / self.flops if self.flops else 0.0
+
+    @property
+    def mflops(self) -> float:
+        return 1e3 / self.tf_ns if self.tf_ns > 0 else float("inf")
+
+
+#: Sequential kernel names -> local-kernel registry names.
+_SEQUENTIAL = {
+    "smv0": "csr",
+    "smv1": "bsr3x3",
+    "smv2": "symmetric-upper",
+    "rmv": "python-csr",
+}
+
+#: All suite kernel names in canonical order.
+SUITE = ("smv0", "smv1", "smv2", "rmv", "lmv", "mmv")
+
+
+def run_kernel(
+    kernel: str,
+    instance: str = "sf10e",
+    num_parts: int = 8,
+    repetitions: int = 3,
+    partition_method: str = "rcb",
+    seed: int = 0,
+) -> KernelRun:
+    """Build the instance, assemble, and time one suite kernel.
+
+    ``num_parts`` only affects the partitioned kernels (lmv/mmv).
+    Flop accounting follows the paper: 2 flops per stored nonzero,
+    summed over PEs for the partitioned kernels (replicated shared
+    blocks genuinely cost extra flops, as they do in the real codes).
+    """
+    if kernel not in SUITE:
+        raise ValueError(f"unknown kernel {kernel!r}; options: {SUITE}")
+    inst: QuakeInstance = get_instance(instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    rng = np.random.default_rng(seed)
+
+    if kernel in _SEQUENTIAL:
+        matrix = assemble_stiffness(
+            mesh, materials, fmt="bsr" if kernel == "smv1" else "csr"
+        )
+        fn = KERNELS[_SEQUENTIAL[kernel]]
+        x = rng.standard_normal(matrix.shape[1])
+        fn(matrix, x)  # warmup
+        t0 = time.perf_counter()
+        for _ in range(repetitions):
+            fn(matrix, x)
+        elapsed = (time.perf_counter() - t0) / repetitions
+        return KernelRun(
+            kernel=kernel,
+            instance=instance,
+            num_parts=1,
+            flops=2 * matrix.nnz,
+            seconds_per_smvp=elapsed,
+        )
+
+    partition = partition_mesh(mesh, num_parts, method=partition_method, seed=seed)
+    dist_smvp = DistributedSMVP(mesh, partition, materials)
+    x = rng.standard_normal(3 * mesh.num_nodes)
+    x_locals = dist_smvp.scatter(x)
+    flops = int(dist_smvp.flops_per_pe().sum())
+    if kernel == "lmv":
+        dist_smvp.compute_phase(x_locals)  # warmup
+        t0 = time.perf_counter()
+        for _ in range(repetitions):
+            dist_smvp.compute_phase(x_locals)
+        elapsed = (time.perf_counter() - t0) / repetitions
+    else:  # mmv
+        dist_smvp.multiply(x)  # warmup
+        t0 = time.perf_counter()
+        for _ in range(repetitions):
+            dist_smvp.multiply(x)
+        elapsed = (time.perf_counter() - t0) / repetitions
+    return KernelRun(
+        kernel=kernel,
+        instance=instance,
+        num_parts=num_parts,
+        flops=flops,
+        seconds_per_smvp=elapsed,
+    )
+
+
+def run_suite(
+    instance: str = "sf10e",
+    num_parts: int = 8,
+    repetitions: int = 3,
+    kernels=SUITE,
+) -> Dict[str, KernelRun]:
+    """Run several suite kernels and return their timing records."""
+    return {
+        k: run_kernel(k, instance=instance, num_parts=num_parts, repetitions=repetitions)
+        for k in kernels
+    }

@@ -1,0 +1,24 @@
+"""Application statistics — the paper's Figure 6/7 quantities.
+
+Given a mesh and a partition, this subpackage computes every
+application-side number the performance model consumes:
+
+* :mod:`~repro.stats.properties` — F, C_max, B_max, M_avg, F/C_max per
+  (instance, PE count): the paper's Figure 7.
+* :mod:`~repro.stats.beta` — the β error bound of Section 3.4
+  (Figure 6).
+* :mod:`~repro.stats.exflow` — the derived per-MFLOP communication
+  ratios used in the Section 1 EXFLOW comparison, plus per-PE memory.
+"""
+
+from repro.stats.properties import SmvpStats, smvp_statistics
+from repro.stats.beta import beta_bound
+from repro.stats.exflow import ExflowStyleStats, exflow_style_stats
+
+__all__ = [
+    "SmvpStats",
+    "smvp_statistics",
+    "beta_bound",
+    "ExflowStyleStats",
+    "exflow_style_stats",
+]

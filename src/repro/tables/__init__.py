@@ -1,0 +1,27 @@
+"""Table and figure regeneration.
+
+One module per paper artifact; each exposes a ``compute_*`` function
+returning structured rows and a ``table_*`` function rendering them as
+an ASCII table with the paper's published values alongside ours.  The
+``repro-tables`` CLI and the benchmark suite both drive these.
+
+========================  ============================================
+module                     reproduces
+========================  ============================================
+``fig2``                   Figure 2 — mesh sizes
+``fig6``                   Figure 6 — β error bounds
+``fig7``                   Figure 7 — SMVP properties
+``fig8``                   Figure 8 — bisection bandwidth requirements
+``fig9``                   Figure 9 — sustained PE bandwidth
+``fig10``                  Figure 10 — latency/burst-bandwidth tradeoff
+``fig11``                  Figure 11 — half-bandwidth targets
+``sec1_exflow``            Section 1 — EXFLOW vs Quake comparison
+``sec2_memory``            Section 2.1 — 1.2 KB/node memory rule
+``sec3_tf``                Section 3.1 — T_f measurement
+``validation``             Sections 3.3-3.4 — model vs simulation
+========================  ============================================
+"""
+
+from repro.tables.render import Table
+
+__all__ = ["Table"]

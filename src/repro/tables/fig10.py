@@ -1,0 +1,98 @@
+"""Figure 10 — burst bandwidth / latency tradeoffs for sf2/128.
+
+For each efficiency line, prints the maximum tolerable block latency at
+a grid of burst bandwidths (including infinite), for (a) maximal blocks
+and (b) fixed four-word blocks, on the 200-MFLOP machine — exactly the
+two panels of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.lowlevel import (
+    BlockMode,
+    MAXIMAL_BLOCKS,
+    four_word_blocks,
+    latency_for_tradeoff,
+)
+from repro.model.machine import FUTURE_200MFLOPS
+from repro.tables.render import Table
+
+#: Burst bandwidths (MB/s) sampled for the table columns.
+BURST_GRID_MBYTES = (50.0, 100.0, 200.0, 400.0, 600.0, 1000.0, 4000.0, float("inf"))
+
+#: Efficiency lines of the figure.
+EFFICIENCIES = paperdata.EFFICIENCY_TARGETS
+
+
+def compute_panel(
+    mode: BlockMode, inputs: ModelInputs = None
+) -> List[Tuple[float, List[float]]]:
+    """Rows of (efficiency, latencies in seconds per burst-grid column).
+
+    Negative entries mean "infeasible at that burst bandwidth".
+    """
+    if inputs is None:
+        inputs = ModelInputs.from_paper("sf2", 128)
+    rows = []
+    for eff in EFFICIENCIES:
+        lat = []
+        for bw_mb in BURST_GRID_MBYTES:
+            tw = 0.0 if bw_mb == float("inf") else paperdata.BYTES_PER_WORD / (
+                bw_mb * 1e6
+            )
+            lat.append(
+                latency_for_tradeoff(inputs, eff, FUTURE_200MFLOPS, tw, mode)
+            )
+        rows.append((eff, lat))
+    return rows
+
+
+def _panel_table(title: str, mode: BlockMode, unit_scale: float, unit: str) -> Table:
+    table = Table(
+        title=title,
+        headers=["E"]
+        + [
+            "inf" if bw == float("inf") else f"{bw:.0f}MB/s"
+            for bw in BURST_GRID_MBYTES
+        ],
+    )
+    for eff, latencies in compute_panel(mode):
+        cells = [
+            "infeasible" if t < 0 else round(t * unit_scale, 2)
+            for t in latencies
+        ]
+        table.add_row(eff, *cells)
+    return table
+
+
+def table_fig10a() -> Table:
+    """Panel (a): maximal blocks; latencies in microseconds."""
+    t = _panel_table(
+        "Figure 10(a): max block latency vs burst bandwidth, sf2/128, "
+        "200 MFLOPS, maximal blocks (us)",
+        MAXIMAL_BLOCKS,
+        1e6,
+        "us",
+    )
+    t.add_note(
+        "paper prose quotes ~3 us at infinite burst for E=0.9; Equation (2) "
+        "on the published Figure 7 row gives 9.3 us — see EXPERIMENTS.md"
+    )
+    return t
+
+
+def table_fig10b() -> Table:
+    """Panel (b): four-word blocks; latencies in nanoseconds."""
+    t = _panel_table(
+        "Figure 10(b): max block latency vs burst bandwidth, sf2/128, "
+        "200 MFLOPS, 4-word blocks (ns)",
+        four_word_blocks(),
+        1e9,
+        "ns",
+    )
+    t.add_note("paper prose: ~100 ns at infinite burst for E=0.9")
+    return t

@@ -1,0 +1,94 @@
+"""Figure 11 — half-bandwidth / half-latency targets for the sf2 SMVPs.
+
+Every point is one (subdomain count, machine, efficiency, block mode):
+the burst bandwidth and block latency such that each accounts for half
+of the communication phase.  Computed from the paper's published
+Figure 7 sf2 rows (exact) and from measured sf2e statistics when
+enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.lowlevel import (
+    MAXIMAL_BLOCKS,
+    HalfBandwidthTarget,
+    four_word_blocks,
+    half_bandwidth_targets,
+)
+from repro.model.requirements import DEFAULT_MACHINES
+from repro.mesh.instances import INSTANCES
+from repro.tables.common import SUBDOMAIN_COUNTS, instance_stats
+from repro.tables.render import Table
+
+#: Efficiencies plotted in Figure 11.
+EFFICIENCIES = (0.5, 0.8, 0.9)
+
+
+def compute_fig11(source: str = "paper") -> List[HalfBandwidthTarget]:
+    """All Figure 11 points from one source ('paper' or 'measured')."""
+    if source == "paper":
+        inputs_list = [
+            ModelInputs.from_paper("sf2", p) for p in SUBDOMAIN_COUNTS
+        ]
+    elif source == "measured":
+        inst = INSTANCES["sf2e"]
+        if not inst.is_enabled():
+            return []
+        inputs_list = [
+            ModelInputs.from_stats(instance_stats(inst, p), label=f"sf2e/{p}")
+            for p in SUBDOMAIN_COUNTS
+        ]
+    else:
+        raise ValueError("source must be 'paper' or 'measured'")
+    points = []
+    for mode in (MAXIMAL_BLOCKS, four_word_blocks()):
+        for machine in DEFAULT_MACHINES:
+            for eff in EFFICIENCIES:
+                for inputs in inputs_list:
+                    points.append(
+                        half_bandwidth_targets(inputs, eff, machine, mode)
+                    )
+    return points
+
+
+def table_fig11(source: str = "paper") -> Table:
+    """Render Figure 11 for one source."""
+    points = compute_fig11(source)
+    table = Table(
+        title=(
+            f"Figure 11: half-bandwidth targets for the sf2 SMVPs ({source})"
+        ),
+        headers=[
+            "point",
+            "mode",
+            "machine",
+            "E",
+            "burst MB/s",
+            "latency",
+        ],
+    )
+    for pt in points:
+        if pt.half_tl >= 1e-3:
+            latency = f"{pt.half_tl * 1e3:.2f} ms"
+        elif pt.half_tl >= 1e-6:
+            latency = f"{pt.half_tl * 1e6:.2f} us"
+        else:
+            latency = f"{pt.half_tl * 1e9:.0f} ns"
+        table.add_row(
+            pt.label,
+            pt.mode,
+            pt.machine,
+            pt.efficiency,
+            round(pt.burst_bandwidth_bytes / 1e6, 1),
+            latency,
+        )
+    table.add_note(
+        "paper extremes: easiest ~3 MB/s burst; hardest ~600 MB/s with "
+        "~2 us (maximal) / ~70 ns (4-word) latency"
+    )
+    return table

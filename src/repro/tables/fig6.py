@@ -1,0 +1,43 @@
+"""Figure 6 — computed relative error bounds β on T_c."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro import paperdata
+from repro.tables.common import SUBDOMAIN_COUNTS, instance_stats, paper_instances
+from repro.tables.render import Table
+
+
+def compute_betas() -> Dict[Tuple[str, int], Optional[float]]:
+    """β for every enabled (instance, subdomain count); None if gated."""
+    out: Dict[Tuple[str, int], Optional[float]] = {}
+    for inst in paper_instances():
+        for p in SUBDOMAIN_COUNTS:
+            if inst.is_enabled():
+                out[(inst.name, p)] = instance_stats(inst, p).beta
+            else:
+                out[(inst.name, p)] = None
+    return out
+
+
+def table_fig6() -> Table:
+    """Render Figure 6: measured β beside the paper's, per cell."""
+    betas = compute_betas()
+    instances = paper_instances()
+    headers = ["subdomains"]
+    for inst in instances:
+        headers += [inst.name, f"paper {inst.paper_name}"]
+    table = Table(
+        title="Figure 6: relative error bounds beta on T_c",
+        headers=headers,
+    )
+    for p in SUBDOMAIN_COUNTS:
+        row = [p]
+        for inst in instances:
+            measured = betas[(inst.name, p)]
+            row.append(f"{measured:.2f}" if measured is not None else "(gated)")
+            row.append(f"{paperdata.BETA_BOUNDS[(inst.paper_name, p)]:.2f}")
+        table.add_row(*row)
+    table.add_note("beta is partition-dependent; 1.0 <= beta <= 2.0 always")
+    return table

@@ -1,0 +1,86 @@
+"""Figure 7 — Quake SMVP properties.
+
+For each (instance, subdomain count): F, C_max, B_max, M_avg, F/C_max,
+measured beside the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import paperdata
+from repro.stats.properties import SmvpStats
+from repro.tables.common import SUBDOMAIN_COUNTS, instance_stats, paper_instances
+from repro.tables.render import Table
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One (instance, p) cell of Figure 7, measured vs paper."""
+
+    instance: str
+    paper_name: str
+    num_parts: int
+    measured: Optional[SmvpStats]
+    paper: paperdata.SmvpProperties
+
+
+def compute_fig7() -> List[Fig7Row]:
+    """All Figure 7 cells for enabled instances (gated ones paper-only)."""
+    rows = []
+    for inst in paper_instances():
+        for p in SUBDOMAIN_COUNTS:
+            measured = instance_stats(inst, p) if inst.is_enabled() else None
+            rows.append(
+                Fig7Row(
+                    instance=inst.name,
+                    paper_name=inst.paper_name,
+                    num_parts=p,
+                    measured=measured,
+                    paper=paperdata.SMVP_PROPERTIES[(inst.paper_name, p)],
+                )
+            )
+    return rows
+
+
+def table_fig7() -> Table:
+    """Render Figure 7."""
+    table = Table(
+        title="Figure 7: Quake SMVP properties (measured | paper)",
+        headers=[
+            "instance",
+            "p",
+            "F",
+            "paper F",
+            "C_max",
+            "paper C",
+            "B_max",
+            "paper B",
+            "M_avg",
+            "paper M",
+            "F/C",
+            "paper F/C",
+        ],
+    )
+    for row in compute_fig7():
+        m = row.measured
+        table.add_row(
+            row.instance,
+            row.num_parts,
+            m.F if m else "(gated)",
+            row.paper.F,
+            m.c_max if m else "(gated)",
+            row.paper.C_max,
+            m.b_max if m else "(gated)",
+            row.paper.B_max,
+            round(m.m_avg) if m else "(gated)",
+            row.paper.M_avg,
+            round(m.f_over_c) if m else "(gated)",
+            row.paper.f_over_c,
+        )
+    table.add_note(
+        "C_max always even and divisible by 3 (matched pairwise messages, "
+        "3 dof per node)"
+    )
+    return table

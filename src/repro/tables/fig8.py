@@ -1,0 +1,98 @@
+"""Figure 8 — sustained bisection bandwidth required for sf2.
+
+The bisection volume V is a property of the partition geometry and was
+not published, so this figure always uses *measured* partitions.  When
+sf2e is gated off, the largest enabled instance stands in (the claim
+being reproduced — bisection bandwidth stays modest, hundreds of MB/s
+at worst — is scale-robust; C_max and V shrink together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.requirements import (
+    DEFAULT_EFFICIENCIES,
+    DEFAULT_MACHINES,
+    bisection_bandwidth_bytes,
+)
+from repro.tables.common import (
+    SUBDOMAIN_COUNTS,
+    enabled_paper_instances,
+    instance_stats,
+)
+from repro.tables.render import Table
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    instance: str
+    num_parts: int
+    machine: str
+    mflops: float
+    efficiency: float
+    mbytes_per_second: float
+    bisection_words: int
+
+
+def reference_instance():
+    """sf2e when enabled, else the largest enabled instance."""
+    enabled = enabled_paper_instances()
+    if not enabled:
+        raise RuntimeError("no instances enabled")
+    for inst in enabled:
+        if inst.name == "sf2e":
+            return inst
+    return enabled[-1]
+
+
+def compute_fig8() -> List[Fig8Row]:
+    """Bisection bandwidth requirement for every (p, machine, E)."""
+    inst = reference_instance()
+    rows = []
+    for machine in DEFAULT_MACHINES:
+        for eff in DEFAULT_EFFICIENCIES:
+            for p in SUBDOMAIN_COUNTS:
+                stats = instance_stats(inst, p)
+                inputs = ModelInputs.from_stats(stats, label=f"{inst.name}/{p}")
+                bw = bisection_bandwidth_bytes(inputs, eff, machine)
+                rows.append(
+                    Fig8Row(
+                        instance=inst.name,
+                        num_parts=p,
+                        machine=machine.name,
+                        mflops=machine.mflops,
+                        efficiency=eff,
+                        mbytes_per_second=bw / 1e6,
+                        bisection_words=stats.bisection_words,
+                    )
+                )
+    return rows
+
+
+def table_fig8() -> Table:
+    """Render Figure 8 as one row per (machine, E) curve."""
+    rows = compute_fig8()
+    inst = rows[0].instance
+    table = Table(
+        title=f"Figure 8: required sustained bisection bandwidth, {inst} (MB/s)",
+        headers=["machine", "E"] + [f"p={p}" for p in SUBDOMAIN_COUNTS],
+    )
+    for machine in DEFAULT_MACHINES:
+        for eff in DEFAULT_EFFICIENCIES:
+            series = [
+                r.mbytes_per_second
+                for r in rows
+                if r.machine == machine.name and r.efficiency == eff
+            ]
+            table.add_row(machine.name, eff, *[round(v, 1) for v in series])
+    worst = max(r.mbytes_per_second for r in rows)
+    table.add_note(
+        f"worst case {worst:.0f} MB/s; paper's sf2 worst case ~"
+        f"{paperdata.PROSE_CLAIMS['bisection_worst_mbytes_per_s']:.0f} MB/s "
+        "(modest either way - the paper's point)"
+    )
+    return table

@@ -1,0 +1,77 @@
+"""Figure 9 — sustained per-PE bandwidth required for sf2.
+
+Pure model-side figure: Equation (1) over the Figure 7 properties.
+Always computed from the paper's published sf2 rows (exact
+reproduction), and additionally from measured statistics when the
+corresponding instance is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.requirements import (
+    DEFAULT_EFFICIENCIES,
+    DEFAULT_MACHINES,
+    pe_bandwidth_requirement_rows,
+)
+from repro.mesh.instances import INSTANCES
+from repro.tables.common import SUBDOMAIN_COUNTS, instance_stats
+from repro.tables.render import Table
+
+#: The application this figure concerns.
+APPLICATION = "sf2"
+INSTANCE = "sf2e"
+
+
+def paper_inputs() -> List[ModelInputs]:
+    """The published sf2 Figure 7 rows, one per subdomain count."""
+    return [
+        ModelInputs.from_paper(APPLICATION, p) for p in SUBDOMAIN_COUNTS
+    ]
+
+
+def measured_inputs() -> Optional[List[ModelInputs]]:
+    """Measured sf2e rows, or ``None`` when the instance is gated off."""
+    inst = INSTANCES[INSTANCE]
+    if not inst.is_enabled():
+        return None
+    return [
+        ModelInputs.from_stats(instance_stats(inst, p), label=f"{INSTANCE}/{p}")
+        for p in SUBDOMAIN_COUNTS
+    ]
+
+
+def table_fig9() -> Table:
+    """Render Figure 9: required sustained PE bandwidth (MB/s)."""
+    table = Table(
+        title="Figure 9: required sustained PE bandwidth for sf2 (MB/s)",
+        headers=["source", "machine", "E"]
+        + [f"p={p}" for p in SUBDOMAIN_COUNTS],
+    )
+    sources = [("paper-fig7", paper_inputs())]
+    measured = measured_inputs()
+    if measured is not None:
+        sources.append(("measured", measured))
+    for source_name, inputs in sources:
+        rows = pe_bandwidth_requirement_rows(inputs)
+        for machine in DEFAULT_MACHINES:
+            for eff in DEFAULT_EFFICIENCIES:
+                series = [
+                    r.mbytes_per_second
+                    for r in rows
+                    if r.machine == machine.name and r.efficiency == eff
+                ]
+                table.add_row(
+                    source_name, machine.name, eff, *[round(v) for v in series]
+                )
+    table.add_note(
+        "paper prose: ~120 MB/s suffices at 100 MFLOPS / E=0.9, ~300 MB/s "
+        "at 200 MFLOPS"
+    )
+    if measured is None:
+        table.add_note("sf2e gated off (REPRO_LARGE=1 adds measured rows)")
+    return table

@@ -1,0 +1,153 @@
+"""ASCII charts for the paper's figures.
+
+The paper presents Figures 8-10 as line plots; the table modules print
+their exact values, and this module renders the same series as
+terminal charts so the *shape* (crossovers, slopes, the latency wall)
+is visible at a glance with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro import paperdata
+from repro.model.inputs import ModelInputs
+from repro.model.lowlevel import MAXIMAL_BLOCKS, four_word_blocks, latency_for_tradeoff
+from repro.model.machine import CURRENT_100MFLOPS, FUTURE_200MFLOPS
+from repro.model.requirements import pe_bandwidth_requirement_rows
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+#: Symbols assigned to series in order.
+_SYMBOLS = "ox*+#@%&"
+
+
+def ascii_chart(
+    series: Series,
+    title: str,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Points outside a log scale's domain (<= 0) are dropped.  Returns a
+    multi-line string with axis annotations and a legend.
+    """
+    points = []
+    for values in series.values():
+        for x, y in values:
+            if (log_x and x <= 0) or (log_y and y <= 0):
+                continue
+            if math.isinf(x) or math.isinf(y):
+                continue
+            points.append((x, y))
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[idx % len(_SYMBOLS)]
+        legend.append(f"{symbol} = {name}")
+        for x, y in values:
+            if (log_x and x <= 0) or (log_y and y <= 0):
+                continue
+            if math.isinf(x) or math.isinf(y):
+                continue
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = symbol
+
+    def fmt(v: float) -> str:
+        return f"{v:.3g}"
+
+    lines = [title]
+    top = fmt(10**y_hi if log_y else y_hi)
+    bottom = fmt(10**y_lo if log_y else y_lo)
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(margin)}")
+    for r, row in enumerate(grid):
+        label = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{label.rjust(margin)}|{''.join(row)}")
+    left = fmt(10**x_lo if log_x else x_lo)
+    right = fmt(10**x_hi if log_x else x_hi)
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + left
+        + right.rjust(width - len(left))
+        + f"   {x_label}"
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_fig9() -> str:
+    """Figure 9 as a chart: required PE bandwidth vs subdomain count."""
+    inputs = [ModelInputs.from_paper("sf2", p) for p in paperdata.SUBDOMAIN_COUNTS]
+    rows = pe_bandwidth_requirement_rows(inputs)
+    series: Series = {}
+    for machine in (CURRENT_100MFLOPS, FUTURE_200MFLOPS):
+        for eff in (0.5, 0.8, 0.9):
+            key = f"{machine.mflops:.0f}MF E={eff}"
+            series[key] = [
+                (r.num_parts, r.mbytes_per_second)
+                for r in rows
+                if r.machine == machine.name and r.efficiency == eff
+            ]
+    return ascii_chart(
+        series,
+        title="Figure 9 (chart): required sustained PE bandwidth, sf2",
+        log_x=True,
+        log_y=True,
+        x_label="subdomains",
+        y_label="MB/s",
+    )
+
+
+def chart_fig10(mode_name: str = "maximal") -> str:
+    """Figure 10 as a chart: latency wall vs burst bandwidth, sf2/128."""
+    inputs = ModelInputs.from_paper("sf2", 128)
+    mode = MAXIMAL_BLOCKS if mode_name == "maximal" else four_word_blocks()
+    unit = 1e6 if mode_name == "maximal" else 1e9
+    unit_name = "us" if mode_name == "maximal" else "ns"
+    series: Series = {}
+    bandwidths = [50e6 * (1.5**k) for k in range(14)]
+    for eff in paperdata.EFFICIENCY_TARGETS:
+        pts = []
+        for bw in bandwidths:
+            tl = latency_for_tradeoff(
+                inputs, eff, FUTURE_200MFLOPS, paperdata.BYTES_PER_WORD / bw, mode
+            )
+            if tl > 0:
+                pts.append((bw / 1e6, tl * unit))
+        series[f"E={eff}"] = pts
+    return ascii_chart(
+        series,
+        title=(
+            f"Figure 10 (chart): max block latency ({unit_name}) vs burst "
+            f"bandwidth, sf2/128, {mode_name} blocks"
+        ),
+        log_x=True,
+        log_y=True,
+        x_label="burst MB/s",
+        y_label=unit_name,
+    )

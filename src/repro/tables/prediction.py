@@ -1,0 +1,91 @@
+"""Whole-application predictions table (forward use of the models).
+
+For every published application/PE-count at p in {64, 128}, predict the
+efficiency, per-SMVP time, and full 6000-step running time on:
+
+* the Cray T3E (measured T_f/T_l/T_w — the machine the paper
+  characterized), and
+* a hypothetical 200-MFLOP machine with the "balanced" network the
+  paper's Figure 11 recommends for sf2/128 at E=0.9.
+
+This is not a paper table — it is the tool the paper's models exist to
+enable, and a consistency check: the T3E prediction for sf2 must agree
+with the paper's observation that current machines fell far short of
+90% efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import paperdata
+from repro.model.application import ApplicationPrediction, predict_application
+from repro.model.inputs import ModelInputs
+from repro.model.lowlevel import MAXIMAL_BLOCKS, half_bandwidth_targets
+from repro.model.machine import CRAY_T3E, FUTURE_200MFLOPS, Machine
+from repro.tables.render import Table
+
+#: PE counts shown in the prediction table.
+PE_COUNTS = (64, 128)
+
+
+def balanced_future_machine() -> Machine:
+    """The 200-MFLOP machine with Figure 11's balanced network for
+    sf2/128 at E=0.9 (559 MB/s burst, 4.7 us maximal-block latency)."""
+    target = half_bandwidth_targets(
+        ModelInputs.from_paper("sf2", 128), 0.9, FUTURE_200MFLOPS, MAXIMAL_BLOCKS
+    )
+    return Machine(
+        name="future+balanced-net",
+        tf=FUTURE_200MFLOPS.tf,
+        tl=target.half_tl,
+        tw=target.half_tw,
+    )
+
+
+def compute_predictions() -> List[ApplicationPrediction]:
+    machines = (CRAY_T3E, balanced_future_machine())
+    rows = []
+    for machine in machines:
+        for app in paperdata.APPLICATIONS:
+            for p in PE_COUNTS:
+                inputs = ModelInputs.from_paper(app, p)
+                rows.append(predict_application(inputs, machine))
+    return rows
+
+
+def table_prediction() -> Table:
+    table = Table(
+        title="Whole-application predictions (6000 explicit steps, "
+        "published Figure 7 inputs)",
+        headers=[
+            "application",
+            "machine",
+            "efficiency",
+            "T_smvp (ms)",
+            "full run",
+            "MFLOPS/PE",
+        ],
+    )
+    for pred in compute_predictions():
+        runtime = pred.total_seconds
+        if runtime >= 3600:
+            run_label = f"{runtime / 3600:.1f} h"
+        elif runtime >= 60:
+            run_label = f"{runtime / 60:.1f} min"
+        else:
+            run_label = f"{runtime:.1f} s"
+        table.add_row(
+            pred.label,
+            pred.machine,
+            round(pred.efficiency, 3),
+            round(pred.t_smvp * 1e3, 3),
+            run_label,
+            round(pred.sustained_mflops_per_pe, 1),
+        )
+    table.add_note(
+        "the balanced-net machine hits ~0.9 efficiency on sf2/128 by "
+        "construction; the T3E's 22 us latency caps small problems far "
+        "below that — the paper's thesis, quantified"
+    )
+    return table

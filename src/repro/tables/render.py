@@ -1,0 +1,76 @@
+"""Minimal ASCII table rendering.
+
+No third-party table library: a ``Table`` is a title, column headers,
+and rows of cells; ``str(table)`` right-aligns numbers, left-aligns
+text, and keeps the output diff-friendly (benchmarks tee their tables
+into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def format_cell(value) -> str:
+    """Human formatting: thousands separators for ints, 3 significant
+    figures for floats, pass-through for strings."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An ASCII table with a title and aligned columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def __str__(self) -> str:
+        cells = [[format_cell(c) for c in row] for row in self.rows]
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), 1)]
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        lines.append(sep)
+        for raw, row in zip(self.rows, cells):
+            formatted = []
+            for value, text, w in zip(raw, row, widths):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    formatted.append(text.rjust(w))
+                else:
+                    formatted.append(text.ljust(w))
+            lines.append(" | ".join(formatted))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

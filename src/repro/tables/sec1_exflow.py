@@ -1,0 +1,84 @@
+"""Section 1 — EXFLOW vs Quake comparison table.
+
+The paper compares EXFLOW (a 512-PE unstructured CFD code from Cypher
+et al.) with Quake sf2/128 on four machine-independent ratios.  We
+reproduce the Quake column from our measured sf2e/128 statistics (or
+show the paper's when gated) next to the published EXFLOW and Quake
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import paperdata
+from repro.mesh.instances import INSTANCES
+from repro.stats.exflow import ExflowStyleStats
+from repro.tables.common import instance_exflow_stats
+from repro.tables.render import Table
+
+_NUM_PARTS = 128
+
+
+@dataclass(frozen=True)
+class ExflowComparison:
+    """The three columns of the Section 1 comparison."""
+
+    exflow: dict
+    paper_quake: dict
+    measured: Optional[ExflowStyleStats]
+
+
+def compute_exflow_comparison() -> ExflowComparison:
+    inst = INSTANCES["sf2e"]
+    measured = (
+        instance_exflow_stats(inst, _NUM_PARTS) if inst.is_enabled() else None
+    )
+    return ExflowComparison(
+        exflow=paperdata.EXFLOW_COMPARISON["exflow"],
+        paper_quake=paperdata.EXFLOW_COMPARISON["quake_sf2_128"],
+        measured=measured,
+    )
+
+
+def table_sec1_exflow() -> Table:
+    cmp = compute_exflow_comparison()
+    table = Table(
+        title="Section 1: EXFLOW vs Quake (sf2/128) communication character",
+        headers=["quantity", "EXFLOW (paper)", "Quake (paper)", "sf2e/128 (ours)"],
+    )
+    m = cmp.measured
+
+    def ours(value):
+        return round(value, 1) if m is not None else "(gated)"
+
+    table.add_row(
+        "data per PE (MB)",
+        cmp.exflow["mbytes_per_pe"],
+        cmp.paper_quake["mbytes_per_pe"],
+        ours(m.mbytes_per_pe) if m else "(gated)",
+    )
+    table.add_row(
+        "comm KB per MFLOP",
+        cmp.exflow["comm_kbytes_per_mflop"],
+        cmp.paper_quake["comm_kbytes_per_mflop"],
+        ours(m.comm_kbytes_per_mflop) if m else "(gated)",
+    )
+    table.add_row(
+        "messages per MFLOP",
+        cmp.exflow["messages_per_mflop"],
+        cmp.paper_quake["messages_per_mflop"],
+        ours(m.messages_per_mflop) if m else "(gated)",
+    )
+    table.add_row(
+        "avg message size (KB)",
+        cmp.exflow["avg_message_kbytes"],
+        cmp.paper_quake["avg_message_kbytes"],
+        ours(m.avg_message_kbytes) if m else "(gated)",
+    )
+    table.add_note(
+        "the paper's point: two unstructured FE codes from different "
+        "domains, nearly identical communication character"
+    )
+    return table

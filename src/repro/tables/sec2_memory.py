@@ -1,0 +1,72 @@
+"""Section 2.1 — the 1.2 KByte/node runtime memory rule.
+
+Derives bytes/node from the structural memory model for every enabled
+instance and compares against the paper's flat rule (and its sf2 ~450
+MB example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import paperdata
+from repro.fem.memory import MemoryModel, memory_model
+from repro.tables.common import paper_instances
+from repro.tables.render import Table
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    instance: str
+    paper_name: str
+    model: Optional[MemoryModel]
+    paper_rule_mbytes: float  # 1.2 KB/node applied to the *paper's* counts
+
+
+def compute_memory_rows() -> List[MemoryRow]:
+    rows = []
+    for inst in paper_instances():
+        sizes = paperdata.MESH_SIZES[inst.paper_name]
+        paper_mb = paperdata.MEMORY_BYTES_PER_NODE * sizes["nodes"] / 2**20
+        model = None
+        if inst.is_enabled():
+            mesh, _ = inst.build()
+            model = memory_model(
+                mesh.num_nodes, mesh.num_edges, mesh.num_elements
+            )
+        rows.append(
+            MemoryRow(
+                instance=inst.name,
+                paper_name=inst.paper_name,
+                model=model,
+                paper_rule_mbytes=paper_mb,
+            )
+        )
+    return rows
+
+
+def table_sec2_memory() -> Table:
+    table = Table(
+        title="Section 2.1: runtime memory (structural model vs 1.2 KB/node rule)",
+        headers=[
+            "instance",
+            "bytes/node (ours)",
+            "paper rule (B/node)",
+            "total MB (ours)",
+            "paper rule MB",
+        ],
+    )
+    for row in compute_memory_rows():
+        table.add_row(
+            row.instance,
+            round(row.model.bytes_per_node) if row.model else "(gated)",
+            round(paperdata.MEMORY_BYTES_PER_NODE),
+            round(row.model.mbytes, 1) if row.model else "(gated)",
+            round(row.paper_rule_mbytes, 1),
+        )
+    table.add_note(
+        f"paper: sf2 requires about {paperdata.SF2_MEMORY_MBYTES:.0f} MB at "
+        "runtime"
+    )
+    return table

@@ -1,0 +1,49 @@
+"""Synthetic ground model of a sediment-filled basin.
+
+The paper's meshes were generated from a material model of the San
+Fernando Valley: soft alluvial sediments (slow shear-wave velocity)
+filling a basin carved into much stiffer rock.  Mesh resolution follows
+the local seismic wavelength, so the soft basin gets dramatically smaller
+elements than the surrounding rock — that contrast is exactly what makes
+the meshes *irregular* and is why the applications need unstructured
+meshes at all (paper, Section 2.1).
+
+We cannot obtain the proprietary San Fernando model, so this subpackage
+provides a synthetic stand-in with the same structure:
+
+* :mod:`~repro.velocity.profiles` — depth-dependent shear/pressure wave
+  velocity and density profiles for sediments and rock.
+* :mod:`~repro.velocity.basin` — a 3D basin geometry (smooth elliptical
+  bowl) embedded in a rectangular domain, dispatching between profiles.
+* :mod:`~repro.velocity.sizing` — the wavelength-driven element sizing
+  field ``h(x) = Vs(x) * T / points_per_wavelength`` that drives mesh
+  grading for a simulation resolving waves of period ``T``.
+"""
+
+from repro.velocity.profiles import (
+    VelocityProfile,
+    LinearGradientProfile,
+    PowerLawSedimentProfile,
+    LayeredProfile,
+)
+from repro.velocity.basin import (
+    BasinModel,
+    Bowl,
+    MultiBasinModel,
+    default_san_fernando_like_model,
+)
+from repro.velocity.sizing import SizingField, WavelengthSizingField, UniformSizingField
+
+__all__ = [
+    "VelocityProfile",
+    "LinearGradientProfile",
+    "PowerLawSedimentProfile",
+    "LayeredProfile",
+    "BasinModel",
+    "Bowl",
+    "MultiBasinModel",
+    "default_san_fernando_like_model",
+    "SizingField",
+    "WavelengthSizingField",
+    "UniformSizingField",
+]

@@ -1,0 +1,115 @@
+"""Depth-dependent material profiles.
+
+A profile maps *depth below the free surface* (meters, >= 0) to isotropic
+elastic material properties: shear-wave velocity ``Vs``, pressure-wave
+velocity ``Vp`` and density ``rho``.  All profile evaluations are
+vectorized over arrays of depths.
+
+The numbers are loosely modeled on published Southern California basin
+studies: soft alluvium starts near 300 m/s shear velocity at the surface
+and stiffens with depth, while basement rock sits in the 2.5-4 km/s range.
+The exact values are not load-bearing for the reproduction — what matters
+is the roughly 10:1 velocity (and hence wavelength, and hence element
+size) contrast between sediments and rock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class VelocityProfile:
+    """Interface for depth-dependent material profiles."""
+
+    def vs(self, depth: np.ndarray) -> np.ndarray:
+        """Shear-wave velocity (m/s) at each depth (m below surface)."""
+        raise NotImplementedError
+
+    def vp(self, depth: np.ndarray) -> np.ndarray:
+        """Pressure-wave velocity (m/s).
+
+        Defaults to a Poisson solid with a near-surface correction:
+        ``Vp = Vs * sqrt(3)`` (Poisson ratio 0.25).
+        """
+        return self.vs(depth) * np.sqrt(3.0)
+
+    def rho(self, depth: np.ndarray) -> np.ndarray:
+        """Density (kg/m^3); defaults to a Gardner-style fit on Vp."""
+        vp = np.asarray(self.vp(depth), dtype=float)
+        # Gardner's relation rho = 310 * Vp^0.25 (Vp in m/s, rho kg/m^3),
+        # clipped to physically plausible soil/rock densities.
+        return np.clip(310.0 * np.power(np.maximum(vp, 1.0), 0.25), 1400.0, 3000.0)
+
+    def _as_depth_array(self, depth) -> np.ndarray:
+        d = np.asarray(depth, dtype=float)
+        if np.any(d < -1e-6):
+            raise ValueError("depth below surface must be non-negative")
+        return np.maximum(d, 0.0)
+
+
+@dataclass
+class LinearGradientProfile(VelocityProfile):
+    """``Vs`` increasing linearly with depth, clamped at ``vs_max``.
+
+    Used for basement rock: stiff at the surface outcrop, stiffer below.
+    """
+
+    vs_surface: float = 2500.0
+    gradient_per_m: float = 0.15
+    vs_max: float = 4000.0
+
+    def vs(self, depth) -> np.ndarray:
+        d = self._as_depth_array(depth)
+        return np.minimum(self.vs_surface + self.gradient_per_m * d, self.vs_max)
+
+
+@dataclass
+class PowerLawSedimentProfile(VelocityProfile):
+    """``Vs = vs_surface * (1 + depth/ref_depth)^exponent``, clamped.
+
+    A standard shape for alluvium: rapid stiffening in the first tens of
+    meters, slow growth below.  Clamped at ``vs_max`` so deep sediment
+    never exceeds soft rock speeds.
+    """
+
+    vs_surface: float = 300.0
+    ref_depth: float = 50.0
+    exponent: float = 0.45
+    vs_max: float = 1200.0
+
+    def vs(self, depth) -> np.ndarray:
+        d = self._as_depth_array(depth)
+        return np.minimum(
+            self.vs_surface * np.power(1.0 + d / self.ref_depth, self.exponent),
+            self.vs_max,
+        )
+
+
+@dataclass
+class LayeredProfile(VelocityProfile):
+    """Piecewise-constant layers, each ``(top_depth, vs)``.
+
+    ``layers`` must be sorted by increasing top depth and start at 0.
+    Depths below the last layer use the last layer's velocity.
+    """
+
+    layers: Sequence[Tuple[float, float]] = field(
+        default_factory=lambda: [(0.0, 400.0), (100.0, 800.0), (1000.0, 2000.0)]
+    )
+
+    def __post_init__(self) -> None:
+        tops = [t for t, _ in self.layers]
+        if not self.layers or tops[0] != 0.0 or sorted(tops) != tops:
+            raise ValueError(
+                "layers must be sorted by top depth and start at depth 0"
+            )
+
+    def vs(self, depth) -> np.ndarray:
+        d = self._as_depth_array(depth)
+        tops = np.array([t for t, _ in self.layers], dtype=float)
+        speeds = np.array([v for _, v in self.layers], dtype=float)
+        idx = np.clip(np.searchsorted(tops, d, side="right") - 1, 0, len(speeds) - 1)
+        return speeds[idx]

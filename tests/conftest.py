@@ -1,0 +1,112 @@
+"""Shared fixtures.
+
+Mesh builds are the expensive part of the suite, so the standard
+instances are built once per session.  Tiny hand-built meshes are used
+wherever exact values matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.material import ElementMaterials, materials_from_model
+from repro.geometry import AABB
+from repro.mesh.core import TetMesh
+from repro.mesh.instances import get_instance
+from repro.mesh.stuffing import stuff_octree
+from repro.octree.linear import LinearOctree
+from repro.velocity.basin import default_san_fernando_like_model
+from repro.velocity.sizing import UniformSizingField
+
+
+@pytest.fixture(scope="session")
+def basin_model():
+    return default_san_fernando_like_model()
+
+
+@pytest.fixture(scope="session")
+def demo_mesh():
+    """The demo instance (~3.8k nodes), built once."""
+    mesh, _ = get_instance("demo").build()
+    return mesh
+
+
+@pytest.fixture(scope="session")
+def demo_materials(demo_mesh, basin_model):
+    return materials_from_model(demo_mesh, basin_model)
+
+
+@pytest.fixture(scope="session")
+def sf10e_mesh():
+    """The sf10e instance (~7k nodes), built once."""
+    mesh, _ = get_instance("sf10e").build()
+    return mesh
+
+
+@pytest.fixture()
+def single_tet_mesh():
+    """The unit right tetrahedron (volume 1/6)."""
+    points = np.array(
+        [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+    )
+    tets = np.array([[0, 1, 2, 3]])
+    return TetMesh(points, tets)
+
+
+@pytest.fixture()
+def two_tet_mesh():
+    """Two tets sharing the triangular face (0, 1, 2)."""
+    points = np.array(
+        [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.3, 0.3, -1.0],
+        ]
+    )
+    tets = np.array([[0, 1, 2, 3], [0, 2, 1, 4]])
+    return TetMesh(points, tets)
+
+
+@pytest.fixture()
+def cube_mesh():
+    """A conforming tet mesh of the unit cube (octree stuffing of one
+    root cell: 8 corners + center, 12 tets of volume 1/12 each)."""
+    domain = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    tree = LinearOctree(domain, (1, 1, 1))
+    mesh, _spacing = stuff_octree(tree)
+    return mesh
+
+
+@pytest.fixture()
+def graded_cube_tree():
+    """A small balanced octree over the unit cube with mixed levels."""
+    domain = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+    class CornerSizing(UniformSizingField):
+        """Fine near the origin corner, coarse elsewhere."""
+
+        def __init__(self):
+            super().__init__(size=0.5)
+
+        def h(self, points):
+            pts = np.atleast_2d(np.asarray(points, dtype=float))
+            near = np.linalg.norm(pts, axis=1) < 0.3
+            return np.where(near, 0.08, 0.6)
+
+        def h_min(self):
+            return 0.08
+
+    return LinearOctree.build(domain, CornerSizing(), base_shape=(1, 1, 1))
+
+
+@pytest.fixture()
+def homogeneous_materials():
+    """Factory for uniform materials over any mesh."""
+
+    def make(mesh: TetMesh) -> ElementMaterials:
+        return ElementMaterials.homogeneous(mesh.num_elements)
+
+    return make

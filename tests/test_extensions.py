@@ -1,0 +1,209 @@
+"""Tests for the extension modules: absorbing boundaries, multi-basin
+models, whole-application predictions, and ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.fem import (
+    SpongeLayer,
+    assemble_lumped_mass,
+    assemble_stiffness,
+    ExplicitTimeStepper,
+    PointSource,
+    RickerWavelet,
+    stable_timestep,
+)
+from repro.geometry import AABB
+from repro.model.application import predict_application
+from repro.model.inputs import ModelInputs
+from repro.model.machine import CRAY_T3D, CRAY_T3E
+from repro.tables.plots import ascii_chart, chart_fig9, chart_fig10
+from repro.tables.prediction import balanced_future_machine, compute_predictions, table_prediction
+from repro.velocity import BasinModel, Bowl, MultiBasinModel
+
+
+class TestSpongeLayer:
+    DOMAIN = AABB((0.0, 0.0, -10_000.0), (50_000.0, 50_000.0, 0.0))
+
+    def test_zero_in_interior(self):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=2.0)
+        center = np.array([[25_000.0, 25_000.0, -5_000.0]])
+        # Center is exactly `thickness` from the bottom -> alpha 0.
+        assert sponge.node_alpha(center, self.DOMAIN)[0] == 0.0
+        deep_interior = np.array([[25_000.0, 25_000.0, -4_000.0]])
+        assert sponge.node_alpha(deep_interior, self.DOMAIN)[0] == 0.0
+
+    def test_max_on_absorbing_faces(self):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=2.0)
+        pts = np.array(
+            [
+                [0.0, 25_000.0, -5_000.0],  # x=lo side
+                [25_000.0, 25_000.0, -10_000.0],  # bottom
+            ]
+        )
+        assert np.allclose(sponge.node_alpha(pts, self.DOMAIN), 2.0)
+
+    def test_free_surface_undamped(self):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=2.0)
+        surface = np.array([[25_000.0, 25_000.0, 0.0]])
+        assert sponge.node_alpha(surface, self.DOMAIN)[0] == 0.0
+
+    def test_absorb_top_option(self):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=2.0, absorb_top=True)
+        surface = np.array([[25_000.0, 25_000.0, 0.0]])
+        assert sponge.node_alpha(surface, self.DOMAIN)[0] == 2.0
+
+    def test_monotone_ramp(self):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=1.0)
+        depths = np.linspace(0, 5_000.0, 20)
+        pts = np.column_stack(
+            [np.full(20, 25_000.0), np.full(20, 25_000.0), -10_000.0 + depths]
+        )
+        alphas = sponge.node_alpha(pts, self.DOMAIN)
+        assert np.all(np.diff(alphas) <= 1e-12)  # decays away from bottom
+
+    def test_dof_alpha_shape(self, demo_mesh, basin_model):
+        sponge = SpongeLayer(thickness=5_000.0, max_alpha=1.0)
+        alpha = sponge.dof_alpha(demo_mesh, basin_model.domain)
+        assert alpha.shape == (3 * demo_mesh.num_nodes,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpongeLayer(thickness=0.0, max_alpha=1.0)
+        with pytest.raises(ValueError):
+            SpongeLayer(thickness=1.0, max_alpha=-1.0)
+
+
+class TestVectorDamping:
+    def test_sponge_reduces_late_shaking(self, demo_mesh, demo_materials, basin_model):
+        stiffness = assemble_stiffness(demo_mesh, demo_materials)
+        mass = assemble_lumped_mass(demo_mesh, demo_materials)
+        dt = stable_timestep(demo_mesh, demo_materials)
+        src = PointSource.at_point(
+            demo_mesh,
+            demo_mesh.bbox.center,
+            RickerWavelet(frequency=0.05, amplitude=1e10),
+        )
+        sponge = SpongeLayer(thickness=10_000.0, max_alpha=0.5)
+        alpha = sponge.dof_alpha(demo_mesh, basin_model.domain)
+
+        def run(damping):
+            stepper = ExplicitTimeStepper(stiffness, mass, dt, damping_alpha=damping)
+            records, _ = stepper.run(
+                120, force_at=lambda t: src.force(t, demo_mesh.num_nodes)
+            )
+            return records[-1].kinetic_proxy
+
+        undamped = run(0.0)
+        damped = run(alpha)
+        assert damped < undamped
+
+    def test_vector_damping_validation(self, demo_mesh, demo_materials):
+        stiffness = assemble_stiffness(demo_mesh, demo_materials)
+        mass = assemble_lumped_mass(demo_mesh, demo_materials)
+        with pytest.raises(ValueError):
+            ExplicitTimeStepper(stiffness, mass, 0.01, damping_alpha=np.ones(5))
+        with pytest.raises(ValueError):
+            ExplicitTimeStepper(stiffness, mass, 0.01, damping_alpha=-1.0)
+
+
+class TestMultiBasinModel:
+    def make(self):
+        return MultiBasinModel(
+            bowls=[
+                Bowl(15_000.0, 15_000.0, 8_000.0, 6_000.0, 1_000.0),
+                Bowl(35_000.0, 30_000.0, 10_000.0, 7_000.0, 1_500.0),
+            ]
+        )
+
+    def test_deepest_bowl_wins(self):
+        model = self.make()
+        assert model.basement_depth(15_000.0, 15_000.0) == pytest.approx(1_000.0)
+        assert model.basement_depth(35_000.0, 30_000.0) == pytest.approx(1_500.0)
+        assert model.basement_depth(0.0, 45_000.0) == 0.0
+
+    def test_sediment_in_both_bowls(self):
+        model = self.make()
+        pts = np.array(
+            [[15_000.0, 15_000.0, -100.0], [35_000.0, 30_000.0, -100.0]]
+        )
+        assert model.in_sediment(pts).all()
+
+    def test_min_vs(self):
+        model = self.make()
+        assert model.min_vs() == pytest.approx(model.sediment.vs(0.0))
+
+    def test_meshable(self):
+        from repro.mesh.generator import generate_mesh
+
+        model = self.make()
+        mesh, _ = generate_mesh(model, period=25.0, points_per_wavelength=1.1)
+        mesh.validate()
+        assert mesh.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiBasinModel(bowls=[])
+        with pytest.raises(ValueError):
+            MultiBasinModel(bowls=[Bowl(0, 0, 1_000, 1_000, 50_000.0)])
+
+
+class TestApplicationPrediction:
+    def test_t3e_on_sf2_128(self):
+        pred = predict_application(ModelInputs.from_paper("sf2", 128), CRAY_T3E)
+        # Latency-capped well below 0.9, consistent with the paper.
+        assert 0.5 < pred.efficiency < 0.95
+        assert pred.total_seconds == pytest.approx(6000 * pred.t_smvp)
+        # Achieved rate below the T3E's 70 MFLOPS local rate.
+        assert pred.sustained_mflops_per_pe < 71.5
+
+    def test_balanced_net_hits_design_efficiency(self):
+        machine = balanced_future_machine()
+        pred = predict_application(ModelInputs.from_paper("sf2", 128), machine)
+        assert pred.efficiency == pytest.approx(0.9, abs=1e-9)
+
+    def test_larger_problems_more_efficient(self):
+        effs = [
+            predict_application(ModelInputs.from_paper(app, 128), CRAY_T3E).efficiency
+            for app in ("sf10", "sf5", "sf2", "sf1")
+        ]
+        assert effs == sorted(effs)
+
+    def test_machine_without_constants_rejected(self):
+        with pytest.raises(ValueError):
+            predict_application(ModelInputs.from_paper("sf2", 128), CRAY_T3D)
+
+    def test_prediction_table(self):
+        text = str(table_prediction())
+        assert "Cray T3E" in text and "future+balanced-net" in text
+        assert len(compute_predictions()) == 2 * 4 * 2
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": [(1, 1), (2, 4), (3, 9)], "b": [(1, 2), (3, 1)]},
+            title="T",
+            width=20,
+            height=8,
+        )
+        assert chart.startswith("T")
+        assert "o = a" in chart and "x = b" in chart
+
+    def test_log_scales_drop_nonpositive(self):
+        chart = ascii_chart(
+            {"a": [(0.0, 1.0), (10.0, 100.0), (100.0, 1.0)]},
+            title="T",
+            log_x=True,
+            log_y=True,
+        )
+        assert "o = a" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []}, title="T")
+
+    def test_figure_charts_render(self):
+        assert "subdomains" in chart_fig9()
+        assert "burst" in chart_fig10("maximal")
+        assert "ns" in chart_fig10("4-word")

@@ -1,0 +1,193 @@
+"""Tests for repro.fem.source, repro.fem.timestepper, repro.fem.material,
+repro.fem.memory."""
+
+import numpy as np
+import pytest
+
+from repro import paperdata
+from repro.fem.assembly import assemble_lumped_mass, assemble_stiffness
+from repro.fem.material import ElementMaterials, materials_from_model
+from repro.fem.memory import memory_model, paper_rule_bytes
+from repro.fem.source import PointSource, RickerWavelet
+from repro.fem.timestepper import ExplicitTimeStepper, stable_timestep
+
+
+class TestMaterials:
+    def test_homogeneous_velocities(self):
+        m = ElementMaterials.homogeneous(5, vs=1000.0, vp=1732.0, rho=2000.0)
+        assert np.allclose(m.vs(), 1000.0)
+        assert np.allclose(m.vp(), 1732.0, rtol=1e-3)
+
+    def test_from_model_contrast(self, demo_mesh, basin_model):
+        mats = materials_from_model(demo_mesh, basin_model)
+        assert mats.num_elements == demo_mesh.num_elements
+        assert mats.vs().min() < 1000 < mats.vs().max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElementMaterials(np.ones(2), np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            ElementMaterials(np.ones(2), -np.ones(2), np.ones(2))
+
+
+class TestRickerWavelet:
+    def test_peak_at_delay(self):
+        w = RickerWavelet(frequency=2.0, amplitude=3.0)
+        t = np.linspace(0, 2, 2001)
+        values = w(t)
+        assert t[np.argmax(values)] == pytest.approx(w.delay, abs=1e-3)
+        assert values.max() == pytest.approx(3.0, rel=1e-4)
+
+    def test_starts_near_zero(self):
+        w = RickerWavelet(frequency=2.0)
+        assert abs(w(0.0)) < 1e-3 * w.amplitude
+
+    def test_zero_mean_integral(self):
+        w = RickerWavelet(frequency=1.0)
+        t = np.linspace(0, 10, 20001)
+        assert np.trapezoid(w(t), t) == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RickerWavelet(frequency=0.0)
+
+
+class TestPointSource:
+    def test_nearest_node(self, demo_mesh):
+        target = demo_mesh.points[17]
+        src = PointSource.at_point(demo_mesh, target, RickerWavelet(1.0))
+        assert src.node == 17
+
+    def test_force_vector(self, demo_mesh):
+        w = RickerWavelet(frequency=1.0, amplitude=2.0)
+        src = PointSource(node=3, direction=(0, 0, 2.0), wavelet=w)
+        f = src.force(w.delay, demo_mesh.num_nodes)
+        assert f.shape == (3 * demo_mesh.num_nodes,)
+        assert f[3 * 3 + 2] == pytest.approx(2.0)
+        assert np.count_nonzero(f) == 1
+
+    def test_direction_normalized(self):
+        src = PointSource(node=0, direction=(3.0, 0, 4.0), wavelet=RickerWavelet(1.0))
+        assert np.linalg.norm(src.direction) == pytest.approx(1.0)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            PointSource(node=0, direction=(0, 0, 0), wavelet=RickerWavelet(1.0))
+
+
+class TestStableTimestep:
+    def test_positive_and_scales(self, demo_mesh):
+        slow = ElementMaterials.homogeneous(demo_mesh.num_elements, vs=500.0, vp=900.0)
+        fast = ElementMaterials.homogeneous(demo_mesh.num_elements, vs=1000.0, vp=1800.0)
+        dt_slow = stable_timestep(demo_mesh, slow)
+        dt_fast = stable_timestep(demo_mesh, fast)
+        assert dt_slow > 0
+        assert dt_slow == pytest.approx(2 * dt_fast)
+
+    def test_safety_validated(self, demo_mesh):
+        mats = ElementMaterials.homogeneous(demo_mesh.num_elements)
+        with pytest.raises(ValueError):
+            stable_timestep(demo_mesh, mats, safety=0.0)
+
+
+class TestExplicitTimeStepper:
+    @pytest.fixture(scope="class")
+    def system(self, demo_mesh, demo_materials):
+        k = assemble_stiffness(demo_mesh, demo_materials)
+        m = assemble_lumped_mass(demo_mesh, demo_materials)
+        dt = stable_timestep(demo_mesh, demo_materials)
+        return demo_mesh, k, m, dt
+
+    def test_zero_force_stays_at_rest(self, system):
+        mesh, k, m, dt = system
+        stepper = ExplicitTimeStepper(k, m, dt)
+        records, _ = stepper.run(10)
+        assert records[-1].max_displacement == 0.0
+
+    def test_source_produces_bounded_motion(self, system):
+        mesh, k, m, dt = system
+        src = PointSource.at_point(
+            mesh, mesh.bbox.center, RickerWavelet(frequency=0.05, amplitude=1e10)
+        )
+        stepper = ExplicitTimeStepper(k, m, dt, damping_alpha=0.05)
+        records, seis = stepper.run(
+            60,
+            force_at=lambda t: src.force(t, mesh.num_nodes),
+            record_nodes=np.array([0, src.node]),
+        )
+        peak = max(r.max_displacement for r in records)
+        assert 0 < peak < 1e3  # moved, but numerically stable
+        assert seis.shape == (60, 2, 3)
+        # The source node moves more than a far corner node.
+        assert np.abs(seis[:, 1]).max() > np.abs(seis[:, 0]).max()
+
+    def test_energy_stays_finite_without_damping(self, system):
+        mesh, k, m, dt = system
+        src = PointSource.at_point(
+            mesh, mesh.bbox.center, RickerWavelet(frequency=0.05, amplitude=1e10)
+        )
+        stepper = ExplicitTimeStepper(k, m, dt)
+        records, _ = stepper.run(
+            80, force_at=lambda t: src.force(t, mesh.num_nodes)
+        )
+        assert np.isfinite(records[-1].max_displacement)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_unstable_dt_blows_up(self, system):
+        mesh, k, m, dt = system
+        src = PointSource.at_point(
+            mesh, mesh.bbox.center, RickerWavelet(frequency=0.05, amplitude=1e10)
+        )
+        stepper = ExplicitTimeStepper(k, m, dt * 20)
+        records, _ = stepper.run(
+            80, force_at=lambda t: src.force(t, mesh.num_nodes)
+        )
+        peaks = [r.max_displacement for r in records]
+        assert (not np.isfinite(peaks[-1])) or peaks[-1] > 1e12
+
+    def test_custom_smvp_hook_used(self, system):
+        mesh, k, m, dt = system
+        calls = []
+
+        def spy(x):
+            calls.append(1)
+            return k @ x
+
+        stepper = ExplicitTimeStepper(k, m, dt, smvp=spy)
+        stepper.run(5)
+        assert len(calls) == 5
+
+    def test_validation(self, system):
+        mesh, k, m, dt = system
+        with pytest.raises(ValueError):
+            ExplicitTimeStepper(k, m[:-3], dt)
+        with pytest.raises(ValueError):
+            ExplicitTimeStepper(k, m, 0.0)
+        with pytest.raises(ValueError):
+            ExplicitTimeStepper(k, np.zeros_like(m), dt)
+
+
+class TestMemoryModel:
+    def test_paper_rule_ballpark(self):
+        # Apply the structural model to the paper's sf2 counts: it
+        # should land in the same ballpark as the 1.2 KB/node rule.
+        sizes = paperdata.MESH_SIZES["sf2"]
+        mm = memory_model(sizes["nodes"], sizes["edges"], sizes["elements"])
+        assert 0.5 * paperdata.MEMORY_BYTES_PER_NODE < mm.bytes_per_node
+        assert mm.bytes_per_node < 1.5 * paperdata.MEMORY_BYTES_PER_NODE
+
+    def test_sf2_total_memory_near_450mb(self):
+        sizes = paperdata.MESH_SIZES["sf2"]
+        mm = memory_model(sizes["nodes"], sizes["edges"], sizes["elements"])
+        assert 300 < mm.mbytes < 600  # paper: ~450 MB
+
+    def test_components_sum(self):
+        mm = memory_model(100, 670, 550)
+        assert mm.total_bytes == mm.matrix_bytes + mm.vector_bytes + mm.mesh_bytes
+
+    def test_paper_rule_helper(self):
+        assert paper_rule_bytes(1000) == pytest.approx(1.2 * 1024 * 1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_model(-1, 0)

@@ -1,0 +1,207 @@
+"""Tests for repro.fem.element and repro.fem.assembly.
+
+The load-bearing physics checks: element stiffness matrices must be
+symmetric, positive semidefinite, and annihilate rigid-body motion
+(translations and infinitesimal rotations); the assembled global matrix
+inherits all three, has the paper's block sparsity (one 3x3 block per
+node pair connected by an edge, plus diagonal blocks), and equals the
+sum of its subdomain pieces.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.assembly import (
+    assemble_lumped_mass,
+    assemble_stiffness,
+    assemble_subdomain_stiffness,
+)
+from repro.fem.element import (
+    element_lumped_mass,
+    element_stiffness,
+    shape_gradients,
+)
+from repro.fem.material import ElementMaterials, materials_from_model
+from repro.mesh.core import TetMesh
+from repro.partition.base import partition_mesh
+from repro.smvp.distribution import DataDistribution
+
+
+def rigid_body_modes(points: np.ndarray) -> np.ndarray:
+    """Six rigid-body displacement fields over the given nodes, each of
+    length 3n: three translations and three infinitesimal rotations."""
+    n = len(points)
+    modes = []
+    for axis in range(3):
+        t = np.zeros((n, 3))
+        t[:, axis] = 1.0
+        modes.append(t.ravel())
+    center = points.mean(axis=0)
+    rel = points - center
+    for axis in range(3):
+        omega = np.zeros(3)
+        omega[axis] = 1.0
+        modes.append(np.cross(omega, rel).ravel())
+    return np.array(modes)
+
+
+class TestShapeGradients:
+    def test_gradients_sum_to_zero(self, single_tet_mesh):
+        grads, vols = shape_gradients(single_tet_mesh)
+        assert np.allclose(grads.sum(axis=1), 0.0)
+        assert vols[0] == pytest.approx(1 / 6)
+
+    def test_linear_field_reproduced(self, single_tet_mesh):
+        # grad of N_a dotted with nodal values of a linear field f(x) =
+        # g . x must give back g.
+        g = np.array([2.0, -1.0, 0.5])
+        nodal = single_tet_mesh.points @ g
+        grads, _ = shape_gradients(single_tet_mesh)
+        recovered = np.einsum("a,ai->i", nodal, grads[0])
+        assert np.allclose(recovered, g)
+
+    def test_degenerate_rejected(self):
+        pts = np.zeros((4, 3))
+        pts[1] = [1, 0, 0]
+        pts[2] = [2, 0, 0]
+        pts[3] = [3, 0, 0]
+        mesh = TetMesh(pts, np.array([[0, 1, 2, 3]]))
+        with pytest.raises(ValueError, match="degenerate"):
+            shape_gradients(mesh)
+
+
+class TestElementStiffness:
+    @pytest.fixture()
+    def ke(self, single_tet_mesh):
+        mats = ElementMaterials.homogeneous(1)
+        return element_stiffness(single_tet_mesh, mats)[0]
+
+    def test_shape(self, ke):
+        assert ke.shape == (12, 12)
+
+    def test_symmetric(self, ke):
+        assert np.allclose(ke, ke.T, rtol=1e-12, atol=1e-6)
+
+    def test_positive_semidefinite(self, ke):
+        eigs = np.linalg.eigvalsh(ke)
+        assert eigs.min() >= -1e-6 * abs(eigs.max())
+
+    def test_exactly_six_zero_modes(self, ke):
+        eigs = np.linalg.eigvalsh(ke)
+        scale = abs(eigs.max())
+        assert np.sum(np.abs(eigs) < 1e-9 * scale) == 6
+
+    def test_annihilates_rigid_body_motion(self, single_tet_mesh, ke):
+        modes = rigid_body_modes(single_tet_mesh.points)
+        scale = np.abs(ke).max()
+        for mode in modes:
+            assert np.abs(ke @ mode).max() < 1e-9 * scale
+
+    def test_uniform_compression_positive_energy(self, single_tet_mesh, ke):
+        u = (single_tet_mesh.points * -0.01).ravel()  # uniform contraction
+        energy = u @ ke @ u
+        assert energy > 0
+
+    def test_scales_with_stiffness(self, single_tet_mesh):
+        soft = ElementMaterials(np.array([1e9]), np.array([1e9]), np.array([2000.0]))
+        hard = ElementMaterials(np.array([2e9]), np.array([2e9]), np.array([2000.0]))
+        k_soft = element_stiffness(single_tet_mesh, soft)[0]
+        k_hard = element_stiffness(single_tet_mesh, hard)[0]
+        assert np.allclose(k_hard, 2 * k_soft)
+
+
+class TestElementMass:
+    def test_quarter_mass_per_corner(self, single_tet_mesh):
+        mats = ElementMaterials.homogeneous(1, rho=2400.0)
+        masses = element_lumped_mass(single_tet_mesh, mats)
+        expected = 2400.0 * (1 / 6) / 4
+        assert np.allclose(masses, expected)
+
+
+class TestGlobalAssembly:
+    def test_sparsity_pattern(self, demo_mesh, demo_materials):
+        k = assemble_stiffness(demo_mesh, demo_materials)
+        expected_nnz = 9 * (demo_mesh.num_nodes + 2 * demo_mesh.num_edges)
+        assert k.nnz == expected_nnz
+
+    def test_symmetry(self, demo_mesh, demo_materials):
+        k = assemble_stiffness(demo_mesh, demo_materials)
+        diff = abs(k - k.T).max()
+        assert diff < 1e-9 * abs(k).max()
+
+    def test_rigid_body_annihilated_globally(self, demo_mesh, demo_materials):
+        k = assemble_stiffness(demo_mesh, demo_materials)
+        modes = rigid_body_modes(demo_mesh.points)
+        scale = np.abs(k.data).max() * 1e-3
+        for mode in modes:
+            assert np.abs(k @ mode).max() < 1e-6 * scale
+
+    def test_bsr_equals_csr(self, demo_mesh, demo_materials):
+        csr = assemble_stiffness(demo_mesh, demo_materials, fmt="csr")
+        bsr = assemble_stiffness(demo_mesh, demo_materials, fmt="bsr")
+        assert sp.isspmatrix_bsr(bsr)
+        assert bsr.blocksize == (3, 3)
+        assert abs(bsr - csr).max() == 0.0
+
+    def test_chunking_invariant(self, demo_mesh, demo_materials):
+        whole = assemble_stiffness(demo_mesh, demo_materials)
+        chunked = assemble_stiffness(
+            demo_mesh, demo_materials, chunk_size=1000
+        )
+        assert abs(whole - chunked).max() < 1e-9 * abs(whole).max()
+
+    def test_materials_length_checked(self, demo_mesh):
+        with pytest.raises(ValueError):
+            assemble_stiffness(demo_mesh, ElementMaterials.homogeneous(3))
+
+    def test_bad_fmt(self, demo_mesh, demo_materials):
+        with pytest.raises(ValueError):
+            assemble_stiffness(demo_mesh, demo_materials, fmt="coo")
+
+
+class TestLumpedMass:
+    def test_total_mass_conserved(self, demo_mesh, demo_materials):
+        mass = assemble_lumped_mass(demo_mesh, demo_materials)
+        vols = demo_mesh.volumes()
+        expected = 3 * float((demo_materials.rho * vols).sum())
+        assert mass.sum() == pytest.approx(expected)
+
+    def test_strictly_positive(self, demo_mesh, demo_materials):
+        assert assemble_lumped_mass(demo_mesh, demo_materials).min() > 0
+
+
+class TestSubdomainAssembly:
+    def test_subdomains_sum_to_global(self, demo_mesh, demo_materials):
+        k_global = assemble_stiffness(demo_mesh, demo_materials)
+        partition = partition_mesh(demo_mesh, 4)
+        dist = DataDistribution(demo_mesh, partition)
+        total = sp.csr_matrix(k_global.shape)
+        for part in range(4):
+            nodes = dist.local_nodes(part)
+            local = assemble_subdomain_stiffness(
+                demo_mesh,
+                demo_materials,
+                dist.local_elements(part),
+                nodes,
+            )
+            # Lift local to global dof numbering.
+            dof = (3 * nodes[:, None] + np.arange(3)).ravel()
+            lift = sp.csr_matrix(
+                (
+                    np.ones(len(dof)),
+                    (dof, np.arange(len(dof))),
+                ),
+                shape=(k_global.shape[0], len(dof)),
+            )
+            total = total + lift @ local @ lift.T
+        assert abs(total - k_global).max() < 1e-9 * abs(k_global).max()
+
+    def test_foreign_node_rejected(self, demo_mesh, demo_materials):
+        partition = partition_mesh(demo_mesh, 4)
+        dist = DataDistribution(demo_mesh, partition)
+        wrong_nodes = dist.local_nodes(0)[:-5]  # drop some resident nodes
+        with pytest.raises(ValueError, match="local_nodes"):
+            assemble_subdomain_stiffness(
+                demo_mesh, demo_materials, dist.local_elements(0), wrong_nodes
+            )

@@ -1,0 +1,134 @@
+"""Tests for repro.geometry.aabb."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = AABB((0, 0, 0), (1, 2, 3))
+        assert box.lo == (0.0, 0.0, 0.0)
+        assert box.hi == (1.0, 2.0, 3.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AABB((0, 0, 0), (1, -1, 1))
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            AABB((0, 0), (1, 1))
+
+    def test_from_points(self):
+        pts = np.array([[1, 2, 3], [-1, 5, 0], [0, 0, 9]])
+        box = AABB.from_points(pts)
+        assert box.lo == (-1.0, 0.0, 0.0)
+        assert box.hi == (1.0, 5.0, 9.0)
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AABB.from_points(np.empty((0, 3)))
+
+    def test_degenerate_box_allowed(self):
+        box = AABB((1, 1, 1), (1, 1, 1))
+        assert box.volume == 0.0
+
+    def test_hashable(self):
+        assert len({AABB((0, 0, 0), (1, 1, 1)), AABB((0, 0, 0), (1, 1, 1))}) == 1
+
+
+class TestMeasures:
+    def test_size_center_volume(self):
+        box = AABB((0, 0, 0), (2, 4, 6))
+        assert np.allclose(box.size, [2, 4, 6])
+        assert np.allclose(box.center, [1, 2, 3])
+        assert box.volume == 48.0
+        assert box.longest_edge == 6.0
+
+
+class TestContainment:
+    def test_contains_inside_and_boundary(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        pts = np.array([[0.5, 0.5, 0.5], [0, 0, 0], [1, 1, 1], [1.1, 0, 0]])
+        assert list(box.contains(pts)) == [True, True, True, False]
+
+    def test_contains_tolerance(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        pt = np.array([[1.0 + 1e-9, 0.5, 0.5]])
+        assert not box.contains(pt)[0]
+        assert box.contains(pt, tol=1e-6)[0]
+
+
+class TestSetOperations:
+    def test_intersects_and_intersection(self):
+        a = AABB((0, 0, 0), (2, 2, 2))
+        b = AABB((1, 1, 1), (3, 3, 3))
+        assert a.intersects(b)
+        inter = a.intersection(b)
+        assert inter.lo == (1.0, 1.0, 1.0)
+        assert inter.hi == (2.0, 2.0, 2.0)
+
+    def test_disjoint(self):
+        a = AABB((0, 0, 0), (1, 1, 1))
+        b = AABB((2, 2, 2), (3, 3, 3))
+        assert not a.intersects(b)
+        with pytest.raises(ValueError):
+            a.intersection(b)
+
+    def test_touching_boxes_intersect(self):
+        a = AABB((0, 0, 0), (1, 1, 1))
+        b = AABB((1, 0, 0), (2, 1, 1))
+        assert a.intersects(b)
+        assert a.intersection(b).volume == 0.0
+
+    def test_union(self):
+        a = AABB((0, 0, 0), (1, 1, 1))
+        b = AABB((2, -1, 0), (3, 0.5, 2))
+        u = a.union(b)
+        assert u.lo == (0.0, -1.0, 0.0)
+        assert u.hi == (3.0, 1.0, 2.0)
+
+    def test_expanded(self):
+        box = AABB((0, 0, 0), (1, 1, 1)).expanded(0.5)
+        assert box.lo == (-0.5, -0.5, -0.5)
+        assert box.hi == (1.5, 1.5, 1.5)
+
+
+class TestOctants:
+    def test_octants_tile_the_box(self):
+        box = AABB((0, 0, 0), (2, 2, 2))
+        total = sum(box.octant(i).volume for i in range(8))
+        assert total == pytest.approx(box.volume)
+
+    def test_octant_bit_convention(self):
+        box = AABB((0, 0, 0), (2, 2, 2))
+        assert box.octant(0).hi == (1.0, 1.0, 1.0)
+        assert box.octant(1).lo == (1.0, 0.0, 0.0)  # bit 0 = x
+        assert box.octant(2).lo == (0.0, 1.0, 0.0)  # bit 1 = y
+        assert box.octant(4).lo == (0.0, 0.0, 1.0)  # bit 2 = z
+
+    def test_octant_range_checked(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        with pytest.raises(ValueError):
+            box.octant(8)
+
+
+class TestCornersAndGrid:
+    def test_corners(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert len(np.unique(corners, axis=0)) == 8
+        assert box.contains(corners).all()
+
+    def test_sample_grid_counts(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        grid = box.sample_grid((3, 2, 1))
+        assert grid.shape == (6, 3)
+        # Axis with count 1 samples the midplane.
+        assert np.allclose(grid[:, 2], 0.5)
+
+    def test_sample_grid_rejects_zero(self):
+        with pytest.raises(ValueError):
+            AABB((0, 0, 0), (1, 1, 1)).sample_grid((0, 2, 2))

@@ -1,0 +1,76 @@
+"""Tests for repro.geometry.predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import orient3d, points_in_aabb, points_in_tets
+
+
+class TestOrient3d:
+    def test_sign_convention(self):
+        a, b, c = [0, 0, 0], [1, 0, 0], [0, 1, 0]
+        above = orient3d(a, b, c, [0, 0, 1])
+        below = orient3d(a, b, c, [0, 0, -1])
+        assert above > 0 > below
+
+    def test_coplanar_is_zero(self):
+        a, b, c = [0, 0, 0], [1, 0, 0], [0, 1, 0]
+        assert orient3d(a, b, c, [0.3, 0.4, 0.0]) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        a, b, c = [0, 0, 0], [1, 0, 0], [0, 1, 0]
+        d = np.array([[0, 0, 1], [0, 0, -1], [0.5, 0.5, 0]])
+        signs = np.sign(orient3d(a, b, c, d))
+        assert list(signs) == [1, -1, 0]
+
+
+class TestPointsInAabb:
+    def test_basic(self):
+        pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5]])
+        mask = points_in_aabb(pts, (0, 0, 0), (1, 1, 1))
+        assert list(mask) == [True, False]
+
+
+class TestPointsInTets:
+    def setup_method(self):
+        self.corners = np.array(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+
+    def _run(self, query):
+        query = np.atleast_2d(np.asarray(query, dtype=float))
+        tc = np.repeat(self.corners[None, :, :], len(query), axis=0)
+        return points_in_tets(query, tc)
+
+    def test_centroid_inside(self):
+        assert self._run([[0.25, 0.25, 0.25]])[0]
+
+    def test_corner_inside(self):
+        assert self._run([[0.0, 0.0, 0.0]])[0]
+
+    def test_outside(self):
+        assert not self._run([[1.0, 1.0, 1.0]])[0]
+
+    def test_just_outside_face(self):
+        assert not self._run([[0.4, 0.4, 0.4]])[0]  # beyond x+y+z=1
+
+    def test_degenerate_tet_reports_outside(self):
+        flat = self.corners.copy()
+        flat[3] = [0.5, 0.5, 0.0]
+        tc = flat[None, :, :]
+        assert not points_in_tets(np.array([[0.3, 0.3, 0.0]]), tc)[0]
+
+    def test_batch_against_barycentric_oracle(self):
+        rng = np.random.default_rng(3)
+        query = rng.uniform(-0.2, 1.2, size=(200, 3))
+        tc = np.repeat(self.corners[None, :, :], len(query), axis=0)
+        got = points_in_tets(query, tc, tol=1e-12)
+        expected = (
+            np.all(query >= -1e-12, axis=1)
+            & (query.sum(axis=1) <= 1 + 1e-12)
+        )
+        assert np.array_equal(got, expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            points_in_tets(np.zeros((2, 3)), np.zeros((2, 3, 3)))

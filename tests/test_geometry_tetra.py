@@ -1,0 +1,118 @@
+"""Tests for repro.geometry.tetra."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    tet_aspect_ratios,
+    tet_centroids,
+    tet_circumradii,
+    tet_edge_lengths,
+    tet_inradii,
+    tet_longest_edges,
+    tet_quality_radius_ratio,
+    tet_shortest_edges,
+    tet_signed_volumes,
+    tet_volumes,
+)
+
+UNIT_RIGHT = np.array(
+    [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+)
+TET = np.array([[0, 1, 2, 3]])
+
+
+def regular_tet_points(edge: float = 1.0) -> np.ndarray:
+    """Corners of a regular tetrahedron with the given edge length."""
+    pts = np.array(
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=float
+    )
+    return pts * (edge / np.sqrt(8.0))
+
+
+class TestVolumes:
+    def test_unit_right_tet_volume(self):
+        assert tet_volumes(UNIT_RIGHT, TET)[0] == pytest.approx(1 / 6)
+
+    def test_signed_volume_flips_with_orientation(self):
+        flipped = np.array([[0, 2, 1, 3]])
+        v1 = tet_signed_volumes(UNIT_RIGHT, TET)[0]
+        v2 = tet_signed_volumes(UNIT_RIGHT, flipped)[0]
+        assert v1 == pytest.approx(-v2)
+        assert v1 > 0
+
+    def test_translation_invariance(self):
+        shifted = UNIT_RIGHT + np.array([10.0, -5.0, 3.0])
+        assert tet_volumes(shifted, TET)[0] == pytest.approx(1 / 6)
+
+    def test_scaling(self):
+        assert tet_volumes(2 * UNIT_RIGHT, TET)[0] == pytest.approx(8 / 6)
+
+    def test_degenerate_volume_zero(self):
+        flat = UNIT_RIGHT.copy()
+        flat[3] = [0.5, 0.5, 0.0]  # coplanar with the base
+        assert tet_volumes(flat, TET)[0] == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            tet_volumes(UNIT_RIGHT, np.array([[0, 1, 2]]))
+
+
+class TestEdgesAndCentroid:
+    def test_edge_lengths_unit_right(self):
+        lengths = tet_edge_lengths(UNIT_RIGHT, TET)[0]
+        assert sorted(np.round(lengths, 6)) == pytest.approx(
+            [1.0, 1.0, 1.0, np.sqrt(2), np.sqrt(2), np.sqrt(2)]
+        )
+        assert tet_longest_edges(UNIT_RIGHT, TET)[0] == pytest.approx(np.sqrt(2))
+        assert tet_shortest_edges(UNIT_RIGHT, TET)[0] == pytest.approx(1.0)
+
+    def test_centroid(self):
+        c = tet_centroids(UNIT_RIGHT, TET)[0]
+        assert np.allclose(c, [0.25, 0.25, 0.25])
+
+
+class TestRadii:
+    def test_regular_tet_radii(self):
+        pts = regular_tet_points(1.0)
+        tets = np.array([[0, 1, 2, 3]])
+        # Known values: R = sqrt(3/8) * a, r = a / sqrt(24).
+        assert tet_circumradii(pts, tets)[0] == pytest.approx(np.sqrt(3 / 8))
+        assert tet_inradii(pts, tets)[0] == pytest.approx(1 / np.sqrt(24))
+
+    def test_regular_tet_quality_is_one(self):
+        pts = regular_tet_points(2.5)
+        assert tet_quality_radius_ratio(pts, np.array([[0, 1, 2, 3]]))[
+            0
+        ] == pytest.approx(1.0)
+
+    def test_sliver_quality_near_zero(self):
+        sliver = UNIT_RIGHT.copy()
+        sliver[3] = [0.5, 0.5, 1e-6]
+        q = tet_quality_radius_ratio(sliver, TET)[0]
+        assert 0 <= q < 0.01
+
+    def test_degenerate_circumradius_inf(self):
+        flat = UNIT_RIGHT.copy()
+        flat[3] = [0.5, 0.5, 0.0]
+        assert np.isinf(tet_circumradii(flat, TET)[0])
+
+    def test_quality_in_unit_interval_random(self):
+        rng = np.random.default_rng(7)
+        pts = rng.standard_normal((40, 3))
+        tets = rng.integers(0, 40, size=(100, 4))
+        ok = np.array([len(set(t)) == 4 for t in tets])
+        q = tet_quality_radius_ratio(pts, tets[ok])
+        assert np.all(q >= 0) and np.all(q <= 1)
+
+
+class TestAspect:
+    def test_regular_tet_aspect(self):
+        pts = regular_tet_points(1.0)
+        ar = tet_aspect_ratios(pts, np.array([[0, 1, 2, 3]]))[0]
+        assert ar == pytest.approx(np.sqrt(24), rel=1e-6)
+
+    def test_degenerate_aspect_inf(self):
+        flat = UNIT_RIGHT.copy()
+        flat[3] = [0.5, 0.5, 0.0]
+        assert np.isinf(tet_aspect_ratios(flat, TET)[0])

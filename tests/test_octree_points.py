@@ -1,0 +1,79 @@
+"""Tests for repro.octree.points (graded point extraction + jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import AABB
+from repro.octree import LinearOctree, graded_points, jitter_points
+
+UNIT = AABB((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+
+class TestJitterPoints:
+    def test_deterministic(self):
+        pts = np.random.default_rng(0).random((50, 3)) * 0.8 + 0.1
+        spc = np.full(50, 0.05)
+        a = jitter_points(pts, spc, UNIT, seed=3)
+        b = jitter_points(pts, spc, UNIT, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_bounded_displacement(self):
+        pts = np.random.default_rng(1).random((100, 3)) * 0.8 + 0.1
+        spc = np.full(100, 0.1)
+        out = jitter_points(pts, spc, UNIT, amplitude=0.2)
+        assert np.abs(out - pts).max() <= 0.2 * 0.1 + 1e-12
+
+    def test_boundary_points_stay_on_their_faces(self):
+        pts = np.array(
+            [
+                [0.0, 0.5, 0.5],  # x=0 face
+                [0.5, 1.0, 0.5],  # y=1 face
+                [0.0, 0.0, 0.5],  # x=0 and y=0 edge
+                [0.0, 0.0, 0.0],  # corner
+            ]
+        )
+        spc = np.full(4, 0.2)
+        out = jitter_points(pts, spc, UNIT, amplitude=0.3, seed=2)
+        assert out[0, 0] == 0.0
+        assert out[1, 1] == 1.0
+        assert out[2, 0] == 0.0 and out[2, 1] == 0.0
+        assert np.array_equal(out[3], pts[3])
+        # Tangential movement did happen somewhere.
+        assert not np.array_equal(out[:2], pts[:2])
+
+    def test_clamped_to_domain(self):
+        pts = np.random.default_rng(2).random((200, 3))
+        spc = np.full(200, 0.5)
+        out = jitter_points(pts, spc, UNIT, amplitude=0.49)
+        assert UNIT.contains(out).all()
+
+    def test_zero_amplitude_identity(self):
+        pts = np.random.default_rng(3).random((10, 3))
+        out = jitter_points(pts, np.full(10, 0.1), UNIT, amplitude=0.0)
+        assert np.array_equal(out, pts)
+
+    def test_validation(self):
+        pts = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            jitter_points(pts, np.zeros(2), UNIT)
+        with pytest.raises(ValueError):
+            jitter_points(pts, np.zeros(3), UNIT, amplitude=0.6)
+
+
+class TestGradedPoints:
+    def test_counts_and_domain(self, graded_cube_tree):
+        pts, spacing = graded_points(graded_cube_tree)
+        assert len(pts) == len(spacing)
+        assert graded_cube_tree.domain.contains(pts).all()
+
+    def test_spacing_tracks_grading(self, graded_cube_tree):
+        pts, spacing = graded_points(graded_cube_tree, amplitude=0.0)
+        near = np.linalg.norm(pts, axis=1) < 0.2
+        far = np.linalg.norm(pts - 1.0, axis=1) < 0.2
+        if near.any() and far.any():
+            assert spacing[near].mean() < spacing[far].mean()
+
+    def test_hull_is_exact_box(self, graded_cube_tree):
+        pts, _ = graded_points(graded_cube_tree, seed=1)
+        assert pts.min(axis=0) == pytest.approx([0, 0, 0])
+        assert pts.max(axis=0) == pytest.approx([1, 1, 1])

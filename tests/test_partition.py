@@ -1,0 +1,217 @@
+"""Tests for repro.partition (base, all methods, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    PARTITIONERS,
+    Partition,
+    partition_mesh,
+    partition_metrics,
+    recursive_bisection,
+    register_all,
+)
+from repro.partition.base import Partitioner
+from repro.partition.geometric import (
+    conformal_map_to_center,
+    stereographic_lift,
+    weiszfeld_median,
+)
+from repro.partition.inertial import principal_axis
+from repro.partition.spectral import fiedler_vector, graph_laplacian
+
+register_all()
+ALL_METHODS = sorted(PARTITIONERS)
+
+
+class TestPartitionType:
+    def test_basic(self):
+        p = Partition(np.array([0, 1, 0, 1]), 2, method="x")
+        assert p.num_elements == 4
+        assert list(p.part_sizes()) == [2, 2]
+        assert list(p.elements_of(1)) == [1, 3]
+        assert p.imbalance() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 2]), 2)
+        with pytest.raises(ValueError):
+            Partition(np.array([-1]), 2)
+        with pytest.raises(ValueError):
+            Partition(np.zeros((2, 2), dtype=int), 2)
+
+    def test_elements_of_range_checked(self):
+        p = Partition(np.array([0]), 1)
+        with pytest.raises(ValueError):
+            p.elements_of(1)
+
+    def test_imbalance(self):
+        p = Partition(np.array([0, 0, 0, 1]), 2)
+        assert p.imbalance() == pytest.approx(1.5)
+
+
+class TestRecursiveBisection:
+    def test_part_numbering_is_bisection_order(self, demo_mesh):
+        # With a coordinate split, parts [0, p/2) must all lie on one
+        # side of the first cut.
+        part = partition_mesh(demo_mesh, 8, method="rcb")
+        centroids = demo_mesh.element_centroids
+        left = centroids[part.parts < 4]
+        right = centroids[part.parts >= 4]
+        # The first cut is along some axis; verify separation on the
+        # axis with the largest gap between group means.
+        gaps = np.abs(left.mean(axis=0) - right.mean(axis=0))
+        axis = int(np.argmax(gaps))
+        assert left[:, axis].max() <= right[:, axis].min() + 1e-9
+
+    def test_non_power_of_two(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 6, method="rcb")
+        sizes = part.part_sizes()
+        assert sizes.sum() == demo_mesh.num_elements
+        assert sizes.max() - sizes.min() <= 2
+
+    def test_bad_bisect_detected(self, demo_mesh):
+        def cheat(mesh, ids, rng, target_left):
+            mask = np.zeros(len(ids), dtype=bool)
+            mask[: max(target_left - 1, 0)] = True  # wrong count
+            return mask
+
+        with pytest.raises(ValueError, match="expected"):
+            recursive_bisection(demo_mesh, 4, cheat)
+
+    def test_single_part(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 1, method="rcb")
+        assert np.all(part.parts == 0)
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_valid_balanced_partition(self, demo_mesh, method):
+        p = 8
+        part = partition_mesh(demo_mesh, p, method=method, seed=0)
+        assert part.num_parts == p
+        assert part.num_elements == demo_mesh.num_elements
+        sizes = part.part_sizes()
+        assert sizes.min() > 0
+        assert part.imbalance() < 1.01
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_deterministic_given_seed(self, demo_mesh, method):
+        a = partition_mesh(demo_mesh, 4, method=method, seed=3)
+        b = partition_mesh(demo_mesh, 4, method=method, seed=3)
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_unknown_method(self, demo_mesh):
+        with pytest.raises(ValueError, match="unknown method"):
+            partition_mesh(demo_mesh, 4, method="metis")
+
+    def test_locality_methods_beat_random(self, demo_mesh):
+        random_shared = partition_metrics(
+            demo_mesh, partition_mesh(demo_mesh, 16, method="random")
+        ).shared_nodes
+        for method in ("rcb", "inertial", "geometric", "spectral", "growing"):
+            shared = partition_metrics(
+                demo_mesh, partition_mesh(demo_mesh, 16, method=method)
+            ).shared_nodes
+            assert shared < 0.7 * random_shared, method
+
+
+class TestGeometricInternals:
+    def test_stereographic_on_sphere(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((100, 3))
+        lifted = stereographic_lift(pts)
+        assert np.allclose(np.linalg.norm(lifted, axis=1), 1.0)
+
+    def test_weiszfeld_median_of_symmetric_cloud(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((500, 4))
+        pts = np.vstack([pts, -pts])  # symmetric about the origin
+        med = weiszfeld_median(pts)
+        assert np.linalg.norm(med) < 0.05
+
+    def test_conformal_map_centers_points(self):
+        rng = np.random.default_rng(2)
+        # Cluster of sphere points near one pole: centerpoint far from
+        # origin; after the map, the median should move toward origin.
+        raw = rng.standard_normal((400, 4)) * 0.2 + np.array([0, 0, 0, 1.0])
+        sphere = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+        center = weiszfeld_median(sphere)
+        mapped = conformal_map_to_center(sphere, center)
+        assert np.allclose(np.linalg.norm(mapped, axis=1), 1.0, atol=1e-9)
+        new_center = weiszfeld_median(mapped)
+        assert np.linalg.norm(new_center) < np.linalg.norm(center)
+
+
+class TestInertialInternals:
+    def test_principal_axis_of_elongated_cloud(self):
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((300, 3)) * np.array([10.0, 1.0, 1.0])
+        axis = principal_axis(pts)
+        assert abs(axis[0]) > 0.99
+
+    def test_degenerate_fallback(self):
+        assert np.array_equal(principal_axis(np.zeros((5, 3))), [1, 0, 0])
+        assert np.array_equal(principal_axis(np.zeros((1, 3))), [1, 0, 0])
+
+
+class TestSpectralInternals:
+    def test_laplacian_rows_sum_to_zero(self, demo_mesh):
+        from repro.mesh.topology import element_adjacency
+
+        lap = graph_laplacian(element_adjacency(demo_mesh.tets).tocsr())
+        rowsum = np.abs(lap @ np.ones(lap.shape[0])).max()
+        assert rowsum < 1e-9
+
+    def test_fiedler_separates_a_path_graph(self):
+        import scipy.sparse as sp
+
+        n = 50
+        rows = np.arange(n - 1)
+        adj = sp.csr_matrix(
+            (np.ones(n - 1), (rows, rows + 1)), shape=(n, n)
+        )
+        adj = adj + adj.T
+        vec = fiedler_vector(adj.tocsr(), np.random.default_rng(0))
+        # The Fiedler vector of a path is monotone: sorting by it splits
+        # the path into two contiguous halves.
+        order = np.argsort(vec)
+        first_half = set(order[: n // 2].tolist())
+        assert first_half in ({*range(n // 2)}, {*range(n // 2, n)})
+
+    def test_fiedler_separates_components(self):
+        import scipy.sparse as sp
+
+        # Two disjoint triangles.
+        rows = np.array([0, 1, 2, 3, 4, 5])
+        cols = np.array([1, 2, 0, 4, 5, 3])
+        adj = sp.csr_matrix((np.ones(6), (rows, cols)), shape=(6, 6))
+        adj = ((adj + adj.T) > 0).astype(np.int8)
+        vec = fiedler_vector(adj.tocsr(), np.random.default_rng(1))
+        signs = np.sign(vec - np.median(vec))
+        assert len(set(signs[:3])) == 1 and len(set(signs[3:])) == 1
+
+
+class TestMetrics:
+    def test_two_tet_split(self, two_tet_mesh):
+        part = Partition(np.array([0, 1]), 2, method="manual")
+        m = partition_metrics(two_tet_mesh, part)
+        assert m.shared_nodes == 3  # the shared face
+        assert m.cut_faces == 1
+        assert m.replication == pytest.approx(8 / 5)
+        assert m.max_node_parts == 2
+
+    def test_single_part_no_sharing(self, two_tet_mesh):
+        part = Partition(np.zeros(2, dtype=int), 1)
+        m = partition_metrics(two_tet_mesh, part)
+        assert m.shared_nodes == 0
+        assert m.cut_faces == 0
+        assert m.replication == 1.0
+
+    def test_mismatched_partition_rejected(self, two_tet_mesh):
+        with pytest.raises(ValueError):
+            partition_metrics(two_tet_mesh, Partition(np.zeros(3, dtype=int), 1))
+
+    def test_str(self, two_tet_mesh):
+        m = partition_metrics(two_tet_mesh, Partition(np.array([0, 1]), 2))
+        assert "shared=3" in str(m)

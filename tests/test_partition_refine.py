@@ -1,0 +1,74 @@
+"""Tests for repro.partition.refine (boundary smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    Partition,
+    partition_mesh,
+    partition_metrics,
+    smooth_partition,
+)
+
+
+class TestSmoothPartition:
+    def test_reduces_or_preserves_shared_nodes(self, demo_mesh):
+        for method in ("rcb", "random"):
+            part = partition_mesh(demo_mesh, 8, method=method, seed=0)
+            before = partition_metrics(demo_mesh, part).shared_nodes
+            refined = smooth_partition(demo_mesh, part)
+            after = partition_metrics(demo_mesh, refined).shared_nodes
+            assert after <= before, method
+
+    def test_strictly_improves_rcb_at_scale(self, sf10e_mesh):
+        # RCB leaves jagged staircase boundaries in the graded basin of
+        # the larger instance; smoothing must find strictly improving
+        # moves there (on tiny meshes with planar cuts there may be no
+        # single-move gain, which the other tests cover).
+        part = partition_mesh(sf10e_mesh, 32, method="rcb", seed=0)
+        before = partition_metrics(sf10e_mesh, part).shared_nodes
+        refined = smooth_partition(sf10e_mesh, part, max_passes=2)
+        after = partition_metrics(sf10e_mesh, refined).shared_nodes
+        assert after < before
+
+    def test_balance_respected(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 8, method="rcb")
+        refined = smooth_partition(demo_mesh, part, balance_tolerance=1.03)
+        assert refined.imbalance() <= 1.03 + 1e-9
+
+    def test_partition_validity_preserved(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 8)
+        refined = smooth_partition(demo_mesh, part)
+        assert refined.num_parts == 8
+        assert refined.num_elements == demo_mesh.num_elements
+        assert refined.part_sizes().min() > 0
+        assert refined.method.endswith("+smooth")
+
+    def test_original_unmodified(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 8)
+        snapshot = part.parts.copy()
+        smooth_partition(demo_mesh, part)
+        assert np.array_equal(part.parts, snapshot)
+
+    def test_single_part_noop(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 1)
+        assert smooth_partition(demo_mesh, part) is part
+
+    def test_two_tet_case(self, two_tet_mesh):
+        # With one element per part and sizes of 1, no moves possible.
+        part = Partition(np.array([0, 1]), 2)
+        refined = smooth_partition(two_tet_mesh, part)
+        assert sorted(refined.parts.tolist()) == [0, 1]
+
+    def test_validation(self, two_tet_mesh, demo_mesh):
+        part = partition_mesh(demo_mesh, 4)
+        with pytest.raises(ValueError):
+            smooth_partition(two_tet_mesh, part)
+        with pytest.raises(ValueError):
+            smooth_partition(demo_mesh, part, balance_tolerance=0.9)
+
+    def test_deterministic(self, demo_mesh):
+        part = partition_mesh(demo_mesh, 8)
+        a = smooth_partition(demo_mesh, part)
+        b = smooth_partition(demo_mesh, part)
+        assert np.array_equal(a.parts, b.parts)

@@ -1,0 +1,180 @@
+"""Tests for repro.smvp.distribution and repro.smvp.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.partition.base import Partition, partition_mesh
+from repro.smvp.distribution import DataDistribution
+from repro.smvp.schedule import (
+    BYTES_PER_WORD,
+    WORDS_PER_NODE,
+    CommSchedule,
+    Message,
+)
+
+
+@pytest.fixture()
+def two_tet_dist(two_tet_mesh):
+    return DataDistribution(two_tet_mesh, Partition(np.array([0, 1]), 2))
+
+
+@pytest.fixture(scope="module")
+def demo_dist(demo_mesh):
+    return DataDistribution(demo_mesh, partition_mesh(demo_mesh, 8, seed=0))
+
+
+class TestDistribution:
+    def test_mismatch_rejected(self, two_tet_mesh):
+        with pytest.raises(ValueError):
+            DataDistribution(two_tet_mesh, Partition(np.zeros(5, dtype=int), 1))
+
+    def test_two_tet_residency(self, two_tet_dist):
+        # Face nodes 0, 1, 2 reside on both PEs.
+        assert list(two_tet_dist.shared_nodes) == [0, 1, 2]
+        assert list(two_tet_dist.node_residency) == [2, 2, 2, 1, 1]
+
+    def test_local_nodes_sorted_and_complete(self, two_tet_dist):
+        assert list(two_tet_dist.local_nodes(0)) == [0, 1, 2, 3]
+        assert list(two_tet_dist.local_nodes(1)) == [0, 1, 2, 4]
+
+    def test_global_to_local_roundtrip(self, two_tet_dist):
+        nodes = np.array([0, 2, 4])
+        local = two_tet_dist.global_to_local(1, nodes)
+        assert np.array_equal(two_tet_dist.local_nodes(1)[local], nodes)
+
+    def test_global_to_local_rejects_foreign(self, two_tet_dist):
+        with pytest.raises(ValueError):
+            two_tet_dist.global_to_local(0, np.array([4]))
+
+    def test_local_counts_two_tets(self, two_tet_dist):
+        counts = two_tet_dist.local_counts
+        assert list(counts["nodes"]) == [4, 4]
+        assert list(counts["edges"]) == [6, 6]
+        assert list(counts["elements"]) == [1, 1]
+        assert list(counts["nonzeros"]) == [9 * (4 + 12)] * 2
+        assert list(counts["flops"]) == [2 * 9 * 16] * 2
+
+    def test_pair_shared_counts(self, two_tet_dist):
+        mat = two_tet_dist.pair_shared_counts
+        assert mat[0, 1] == 3
+        assert mat[0, 0] == 4  # diagonal = resident node count
+
+    def test_pair_shared_nodes(self, two_tet_dist):
+        pairs = two_tet_dist.pair_shared_nodes
+        assert list(pairs) == [(0, 1)]
+        assert list(pairs[(0, 1)]) == [0, 1, 2]
+
+    def test_every_node_resides_somewhere(self, demo_dist):
+        assert demo_dist.node_residency.min() >= 1
+
+    def test_union_of_local_nodes_is_all(self, demo_dist):
+        union = np.unique(
+            np.concatenate(
+                [demo_dist.local_nodes(p) for p in range(demo_dist.num_parts)]
+            )
+        )
+        assert len(union) == demo_dist.mesh.num_nodes
+
+    def test_flops_vs_global_lower_bound(self, demo_dist):
+        # Sum of local flops >= global flops (shared blocks replicated).
+        mesh = demo_dist.mesh
+        global_flops = 2 * 9 * (mesh.num_nodes + 2 * mesh.num_edges)
+        assert demo_dist.local_counts["flops"].sum() >= global_flops
+
+
+class TestMessage:
+    def test_words_and_bytes(self):
+        msg = Message(src=0, dst=1, nodes=5)
+        assert msg.words == 5 * WORDS_PER_NODE
+        assert msg.bytes == msg.words * BYTES_PER_WORD
+
+
+class TestSchedule:
+    def test_two_tet_schedule(self, two_tet_dist):
+        sched = CommSchedule(two_tet_dist)
+        assert sched.total_blocks == 2  # one each way
+        assert sched.c_max == 2 * 3 * WORDS_PER_NODE  # 3 nodes, both dirs
+        assert sched.b_max == 2
+        assert sched.m_avg == pytest.approx(9.0)
+        assert list(sched.neighbors_of(0)) == [1]
+
+    def test_word_matrix_symmetric_zero_diagonal(self, demo_dist):
+        mat = CommSchedule(demo_dist).word_matrix
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_paper_invariants(self, demo_dist):
+        # C_i even (matched messages) and divisible by 3 (3 dof).
+        sched = CommSchedule(demo_dist)
+        assert np.all(sched.words_per_pe % 6 == 0)
+        assert np.all(sched.blocks_per_pe % 2 == 0)
+
+    def test_totals_consistent(self, demo_dist):
+        sched = CommSchedule(demo_dist)
+        assert sched.total_words == sched.words_per_pe.sum() // 2
+        assert sched.total_blocks == sched.blocks_per_pe.sum() // 2
+        assert sched.m_avg == pytest.approx(
+            sched.total_words / sched.total_blocks
+        )
+
+    def test_words_match_shared_counts(self, demo_dist):
+        # word_matrix[i, j] = 3 * shared(i, j).
+        sched = CommSchedule(demo_dist)
+        pair_counts = demo_dist.pair_shared_counts
+        for (a, b), nodes in demo_dist.pair_shared_nodes.items():
+            assert sched.word_matrix[a, b] == 3 * len(nodes)
+            assert pair_counts[a, b] == len(nodes)
+
+    def test_bisection_words(self, demo_dist):
+        sched = CommSchedule(demo_dist)
+        mat = sched.word_matrix
+        p = demo_dist.num_parts
+        expected = mat[: p // 2, p // 2 :].sum() + mat[p // 2 :, : p // 2].sum()
+        assert sched.bisection_words() == expected
+        # Trivial boundaries.
+        assert sched.bisection_words(0) == 0
+        assert sched.bisection_words(p) == 0
+        with pytest.raises(ValueError):
+            sched.bisection_words(p + 1)
+
+    def test_bisection_less_than_total(self, demo_dist):
+        sched = CommSchedule(demo_dist)
+        assert sched.bisection_words() <= 2 * sched.total_words
+        # With bisection-ordered parts, the bisection should carry a
+        # strict subset of all traffic.
+        assert sched.bisection_words() < sched.word_matrix.sum()
+
+
+class TestBoundaryFlops:
+    def test_exact_against_assembled_rows(self, demo_mesh):
+        """boundary_flops must equal 2x the nnz of the shared-node rows
+        of the actually assembled local matrices."""
+        from repro.fem.assembly import assemble_subdomain_stiffness
+        from repro.fem.material import ElementMaterials
+
+        partition = partition_mesh(demo_mesh, 6, seed=0)
+        dist = DataDistribution(demo_mesh, partition)
+        materials = ElementMaterials.homogeneous(demo_mesh.num_elements)
+        shared_mask = dist.node_residency >= 2
+        for part in range(6):
+            nodes = dist.local_nodes(part)
+            local_k = assemble_subdomain_stiffness(
+                demo_mesh, materials, dist.local_elements(part), nodes
+            )
+            shared_local = np.flatnonzero(shared_mask[nodes])
+            dof = (3 * shared_local[:, None] + np.arange(3)).ravel()
+            row_nnz = np.diff(local_k.indptr)
+            assert 2 * int(row_nnz[dof].sum()) == dist.boundary_flops[part]
+
+    def test_bounded_by_total_flops(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 16)
+        dist = DataDistribution(demo_mesh, partition)
+        assert np.all(dist.boundary_flops <= dist.local_counts["flops"])
+        assert np.all(dist.boundary_flops > 0)
+
+    def test_single_part_no_boundary(self, demo_mesh):
+        from repro.partition.base import Partition
+
+        part = Partition(np.zeros(demo_mesh.num_elements, dtype=np.int32), 1)
+        dist = DataDistribution(demo_mesh, part)
+        assert dist.boundary_flops[0] == 0
