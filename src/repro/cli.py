@@ -13,6 +13,10 @@
 
 ``repro-measure``
     Run the Spark98-style kernel suite and print T_f per kernel.
+
+``repro-faults``
+    Sweep fault rates through the BSP simulator and the distributed
+    executor's recovery protocol; print the reliability tables.
 """
 
 from __future__ import annotations
@@ -164,6 +168,107 @@ def main_mesh(argv: Optional[List[str]] = None) -> int:
     if args.out_text:
         save_mesh_text(mesh, args.out_text)
         print(f"  wrote {args.out_text}")
+    return 0
+
+
+def main_faults(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-faults``: the reliability sweep."""
+    from repro.mesh.instances import INSTANCES
+    from repro.model.machine import MACHINES
+    from repro.tables.reliability import (
+        DEFAULT_INSTANCES,
+        DEFAULT_RATES,
+        table_fault_recovery,
+        table_reliability,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description=(
+            "Sweep fault rates (stragglers, dropped/corrupt/duplicated "
+            "blocks, transient PE failures) and report efficiency/runtime "
+            "degradation plus executor-level detection and recovery."
+        ),
+    )
+    parser.add_argument(
+        "--instances",
+        nargs="*",
+        default=list(DEFAULT_INSTANCES),
+        help="instances to sweep (default: sf10e sf5e)",
+    )
+    parser.add_argument("--pes", type=int, default=32, help="number of PEs")
+    parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="*",
+        default=list(DEFAULT_RATES),
+        help="fault rates to sweep (0 = the paper's perfect machine)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=20,
+        help="supersteps sampled per cell (extrapolated to 6000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--machine",
+        default="t3e",
+        choices=sorted(MACHINES),
+        help="machine preset (needs T_l/T_w, e.g. t3e)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: demo instance, 8 PEs, 3 supersteps",
+    )
+    args = parser.parse_args(argv)
+
+    machine = MACHINES[args.machine]
+    try:
+        machine.require_comm("the reliability sweep")
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.smoke:
+        instances, pes, rates, steps = ["demo"], 8, [0.0, 0.05], 3
+    else:
+        instances, pes, rates, steps = (
+            args.instances,
+            args.pes,
+            args.rates,
+            args.steps,
+        )
+    unknown = [n for n in instances if n not in INSTANCES]
+    if unknown:
+        parser.error(f"unknown instances {unknown}")
+    bad_rates = [r for r in rates if not 0.0 <= r <= 0.5]
+    if bad_rates:
+        parser.error(
+            f"rates must be in [0, 0.5] (uniform fault mix), got {bad_rates}"
+        )
+
+    print(
+        table_reliability(
+            instances=instances,
+            num_parts=pes,
+            rates=rates,
+            machine=machine,
+            num_steps=steps,
+            seed=args.seed,
+        )
+    )
+    print()
+    recovery_rate = max([r for r in rates if r > 0], default=0.05)
+    print(
+        table_fault_recovery(
+            instance="demo",
+            num_parts=min(pes, 8),
+            rate=min(recovery_rate, 0.1),
+            num_exchanges=2 if args.smoke else 5,
+            seed=args.seed,
+        )
+    )
     return 0
 
 

@@ -1,0 +1,24 @@
+"""Typed failures raised by the fault-tolerance machinery.
+
+Every error the detection/recovery layers can surface derives from
+:class:`FaultError`, so callers can catch the whole family with one
+``except`` while tests assert the precise subtype.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for all fault-subsystem errors."""
+
+
+class ExchangeFaultError(FaultError):
+    """A block exchange could not be completed within the retry budget."""
+
+
+class NumericalFaultError(FaultError):
+    """A computed state contains NaN/Inf or fails a residual check."""
+
+
+class CheckpointError(FaultError):
+    """A checkpoint file is corrupt, incomplete, or incompatible."""

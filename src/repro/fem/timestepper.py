@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.faults.detection import check_finite as _check_finite
 from repro.fem.material import ElementMaterials
 from repro.geometry import tet_shortest_edges
 from repro.mesh.core import TetMesh
@@ -73,6 +74,11 @@ class ExplicitTimeStepper:
         Override the SMVP operation (the distributed executor passes
         itself in here — that is the integration point between the
         solver and the parallel SMVP machinery).
+    check_finite:
+        When True, every new state is guarded for NaN/Inf and a
+        :class:`~repro.faults.NumericalFaultError` pinpoints the step a
+        blow-up (or an undetected corrupt exchange) first appeared.
+        Off by default — the guard costs one pass over the state.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class ExplicitTimeStepper:
         dt: float,
         damping_alpha=0.0,
         smvp: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        check_finite: bool = False,
     ) -> None:
         mass = np.asarray(mass, dtype=np.float64)
         if stiffness.shape[0] != stiffness.shape[1]:
@@ -105,6 +112,7 @@ class ExplicitTimeStepper:
             raise ValueError("damping must be non-negative")
         self.damping_alpha = damping
         self._smvp = smvp if smvp is not None else (lambda x: self.stiffness @ x)
+        self.check_finite = bool(check_finite)
         n = stiffness.shape[0]
         self.u = np.zeros(n)
         self.u_prev = np.zeros(n)
@@ -123,6 +131,8 @@ class ExplicitTimeStepper:
         u_next = (
             2.0 * self.u - (1.0 - half) * self.u_prev + dt * dt * accel
         ) / (1.0 + half)
+        if self.check_finite:
+            _check_finite(u_next, f"displacement at step {self.step_index + 1}")
         self.u_prev = self.u
         self.u = u_next
         self.step_index += 1
@@ -139,6 +149,7 @@ class ExplicitTimeStepper:
         num_steps: int,
         force_at: Optional[Callable[[float], np.ndarray]] = None,
         record_nodes: Optional[np.ndarray] = None,
+        checkpoint=None,
     ):
         """Run ``num_steps`` steps.
 
@@ -149,6 +160,12 @@ class ExplicitTimeStepper:
         record_nodes:
             Node indices whose 3 displacement dofs are recorded every
             step (seismograms).
+        checkpoint:
+            Optional :class:`~repro.faults.CheckpointManager` (anything
+            with a ``maybe_save(stepper)`` method): the run snapshots
+            its state at the manager's interval, so a killed run can
+            resume from the latest checkpoint and reproduce the
+            uninterrupted trajectory exactly.
 
         Returns
         -------
@@ -169,4 +186,6 @@ class ExplicitTimeStepper:
             if seis is not None:
                 dof = (3 * record_nodes[:, None] + np.arange(3)).ravel()
                 seis[k] = self.u[dof].reshape(-1, 3)
+            if checkpoint is not None:
+                checkpoint.maybe_save(self)
         return records, seis

@@ -19,6 +19,7 @@ while leaving the full-scale reproduction one environment variable away.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -26,7 +27,7 @@ from typing import Dict, Optional, Tuple
 from repro import paperdata
 from repro.mesh.core import TetMesh
 from repro.mesh.generator import MeshBuildReport, generate_mesh
-from repro.mesh.io import load_mesh, save_mesh
+from repro.mesh.io import MeshIOError, load_mesh, save_mesh
 from repro.velocity.basin import BasinModel, default_san_fernando_like_model
 
 
@@ -101,10 +102,25 @@ class QuakeInstance:
                 return cached
             disk = self._disk_cache_path()
             if disk is not None and disk.exists():
-                mesh = load_mesh(disk)
-                result = (mesh, None)
-                _MEMORY_CACHE[self.name] = result
-                return result
+                try:
+                    mesh = load_mesh(disk)
+                except MeshIOError as exc:
+                    # Graceful degradation: a corrupt/truncated/stale
+                    # cache file costs a rebuild, never a crash.
+                    warnings.warn(
+                        f"mesh cache for {self.name} is unusable "
+                        f"({exc}); deleting and rebuilding",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    try:
+                        disk.unlink()
+                    except OSError:
+                        pass
+                else:
+                    result = (mesh, None)
+                    _MEMORY_CACHE[self.name] = result
+                    return result
         mesh, report = generate_mesh(
             self.model(),
             period=self.period,

@@ -2,7 +2,12 @@
 
 Two formats:
 
-* ``.npz`` — compact binary, used by the on-disk mesh cache.
+* ``.npz`` — compact binary, used by the on-disk mesh cache.  Files
+  carry a CRC-32 of their payload, and every way a cache file can be
+  bad — truncated zip, missing arrays, bit rot, wrong shapes — is
+  reported as a typed :class:`MeshIOError` so callers (the instance
+  cache) can delete-and-rebuild instead of crashing on a raw
+  ``zipfile``/``KeyError`` surprise.
 * a portable text format modeled on the Spark98 mesh files the paper's
   postscript distributes: a header line with counts followed by node
   coordinates and element corner indices, whitespace separated.  Slow
@@ -12,6 +17,7 @@ Two formats:
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 from typing import Union
 
@@ -24,21 +30,64 @@ PathLike = Union[str, os.PathLike]
 _TEXT_MAGIC = "repro-tetmesh-v1"
 
 
+class MeshIOError(ValueError):
+    """A mesh file is corrupt, truncated, stale, or not a mesh file.
+
+    Subclasses ``ValueError`` so pre-existing callers that caught the
+    loader's old untyped errors keep working; new callers (the instance
+    cache) catch ``MeshIOError`` and delete-and-rebuild.
+    """
+
+
+def _payload_crc(points: np.ndarray, tets: np.ndarray) -> int:
+    crc = zlib.crc32(np.ascontiguousarray(points, dtype=np.float64).tobytes())
+    return zlib.crc32(
+        np.ascontiguousarray(tets, dtype=np.int64).tobytes(), crc
+    )
+
+
 def save_mesh(mesh: TetMesh, path: PathLike) -> None:
-    """Write a mesh to a ``.npz`` file (created atomically)."""
+    """Write a mesh to a ``.npz`` file (created atomically, with CRC)."""
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "wb") as f:
-        np.savez_compressed(f, points=mesh.points, tets=mesh.tets)
+        np.savez_compressed(
+            f,
+            points=mesh.points,
+            tets=mesh.tets,
+            crc=np.uint64(_payload_crc(mesh.points, mesh.tets)),
+        )
     os.replace(tmp, path)
 
 
 def load_mesh(path: PathLike) -> TetMesh:
-    """Read a mesh written by :func:`save_mesh`."""
-    with np.load(Path(path)) as data:
-        if "points" not in data or "tets" not in data:
-            raise ValueError(f"{path} is not a repro mesh file")
-        return TetMesh(data["points"], data["tets"])
+    """Read a mesh written by :func:`save_mesh`.
+
+    Raises
+    ------
+    FileNotFoundError
+        When the file simply is not there (not a corruption case).
+    MeshIOError
+        For every kind of bad file: truncated/corrupt zip containers,
+        missing arrays, CRC mismatches, or shapes that are not a mesh.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            if "points" not in data or "tets" not in data:
+                raise MeshIOError(f"{path} is not a repro mesh file")
+            points = data["points"]
+            tets = data["tets"]
+            if "crc" in data and _payload_crc(points, tets) != int(data["crc"]):
+                raise MeshIOError(f"{path} failed its CRC check (bit rot?)")
+    except (MeshIOError, FileNotFoundError):
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, EOFError, ...
+        raise MeshIOError(f"{path} is unreadable: {exc}") from exc
+    try:
+        return TetMesh(points, tets)
+    except (ValueError, IndexError) as exc:
+        raise MeshIOError(f"{path} holds invalid mesh arrays: {exc}") from exc
 
 
 def save_mesh_text(mesh: TetMesh, path: PathLike) -> None:
@@ -67,21 +116,26 @@ def load_mesh_text(path: PathLike) -> TetMesh:
     with open(path) as f:
         magic = f.readline().strip()
         if magic != _TEXT_MAGIC:
-            raise ValueError(f"{path}: bad magic {magic!r}")
+            raise MeshIOError(f"{path}: bad magic {magic!r}")
         header = f.readline().split()
         if len(header) != 2:
-            raise ValueError(f"{path}: bad header")
-        num_nodes, num_elements = int(header[0]), int(header[1])
-        points = np.empty((num_nodes, 3), dtype=np.float64)
-        for i in range(num_nodes):
-            parts = f.readline().split()
-            if len(parts) != 3:
-                raise ValueError(f"{path}: bad node line {i}")
-            points[i] = [float(p) for p in parts]
-        tets = np.empty((num_elements, 4), dtype=np.int64)
-        for i in range(num_elements):
-            parts = f.readline().split()
-            if len(parts) != 4:
-                raise ValueError(f"{path}: bad element line {i}")
-            tets[i] = [int(p) for p in parts]
+            raise MeshIOError(f"{path}: bad header")
+        try:
+            num_nodes, num_elements = int(header[0]), int(header[1])
+            points = np.empty((num_nodes, 3), dtype=np.float64)
+            for i in range(num_nodes):
+                parts = f.readline().split()
+                if len(parts) != 3:
+                    raise MeshIOError(f"{path}: bad node line {i}")
+                points[i] = [float(p) for p in parts]
+            tets = np.empty((num_elements, 4), dtype=np.int64)
+            for i in range(num_elements):
+                parts = f.readline().split()
+                if len(parts) != 4:
+                    raise MeshIOError(f"{path}: bad element line {i}")
+                tets[i] = [int(p) for p in parts]
+        except MeshIOError:
+            raise
+        except ValueError as exc:  # unparseable numbers = truncation/rot
+            raise MeshIOError(f"{path}: {exc}") from exc
     return TetMesh(points, tets, copy=False)

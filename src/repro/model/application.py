@@ -54,8 +54,7 @@ def predict_application(
     Uses Equation (2) for the sustained per-word time the machine
     actually delivers, then Equation (1) inverted for the efficiency.
     """
-    if machine.tl is None or machine.tw is None:
-        raise ValueError(f"machine {machine.name} lacks block constants")
+    machine.require_comm("predicting application performance")
     tc = tc_from_blocks(inputs, machine.tl, machine.tw, mode)
     eff = efficiency_from_tc(inputs, tc, machine)
     t_step = smvp_time(inputs, tc, machine)

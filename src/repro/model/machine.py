@@ -45,6 +45,32 @@ class Machine:
         return 1e-6 / self.tf
 
     @property
+    def has_comm_constants(self) -> bool:
+        """Whether both block constants ``T_l`` and ``T_w`` are set."""
+        return self.tl is not None and self.tw is not None
+
+    def require_comm(self, context: str = "communication modeling") -> None:
+        """Fail fast (and clearly) when ``T_l``/``T_w`` are missing.
+
+        Several consumers (the BSP simulator, Equation (2), application
+        predictions) multiply by ``tl``/``tw``; without this check they
+        would die later with a cryptic ``TypeError`` on ``None``
+        arithmetic.
+        """
+        if not self.has_comm_constants:
+            missing = [
+                name
+                for name, value in (("T_l", self.tl), ("T_w", self.tw))
+                if value is None
+            ]
+            raise ValueError(
+                f"machine preset {self.name!r} does not define "
+                f"{' or '.join(missing)}, which {context} requires; use a "
+                "preset with block constants (e.g. 't3e') or construct a "
+                "Machine with explicit tl/tw"
+            )
+
+    @property
     def burst_bandwidth_bytes(self) -> Optional[float]:
         """Burst bandwidth in bytes/s (words are 64-bit)."""
         if self.tw is None or self.tw == 0:

@@ -27,6 +27,15 @@ Three execution modes:
     flops must precede the exchange.  Per PE:
     ``T_i = max(F_i T_f, F_i^boundary T_f + B_i T_l + C_i T_w)`` and the
     SMVP ends at ``max_i T_i``.
+
+With a :class:`~repro.faults.FaultInjector` attached, ``barrier`` mode
+additionally models an imperfect machine: straggler PEs stretch the
+computation phase (everyone waits at the barrier), transient PE
+failures restart-and-recompute their step, and dropped or corrupted
+blocks are retransmitted after a timeout with exponential backoff —
+all in simulated time, all deterministic under the injector's seed.
+With injection disabled the code path (and therefore every timing, bit
+for bit) is identical to the fault-free simulator.
 """
 
 from __future__ import annotations
@@ -37,6 +46,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.detection import FaultStats
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import retransmit_penalty
 from repro.model.machine import Machine
 from repro.smvp.schedule import CommSchedule
 
@@ -53,6 +65,7 @@ class PhaseTimes:
     t_comm: float  # duration of the communication phase
     t_smvp: float  # total
     per_pe_comm: np.ndarray  # each PE's own communication busy time
+    faults: Optional[FaultStats] = None  # injected-fault tally, if any
 
     @property
     def efficiency(self) -> float:
@@ -74,6 +87,9 @@ class BspSimulator:
     boundary_flops_per_pe:
         Only needed for ``overlap`` mode: the flops that must complete
         before the exchange can start.
+    injector:
+        Optional fault injector; when enabled, ``barrier`` runs model
+        stragglers, transient PE failures, and block retransmits.
     """
 
     def __init__(
@@ -82,9 +98,9 @@ class BspSimulator:
         schedule: CommSchedule,
         machine: Machine,
         boundary_flops_per_pe: Optional[np.ndarray] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
-        if machine.tl is None or machine.tw is None:
-            raise ValueError(f"machine {machine.name} lacks T_l/T_w")
+        machine.require_comm("the BSP simulator")
         self.flops = np.asarray(flops_per_pe, dtype=np.float64)
         self.schedule = schedule
         self.machine = machine
@@ -95,6 +111,7 @@ class BspSimulator:
             if boundary_flops_per_pe is None
             else np.asarray(boundary_flops_per_pe, dtype=np.float64)
         )
+        self.injector = injector
 
     # -- per-PE communication busy times ---------------------------------
 
@@ -107,12 +124,25 @@ class BspSimulator:
 
     # -- modes -------------------------------------------------------------
 
-    def run(self, mode: str = "barrier") -> PhaseTimes:
-        """Simulate one SMVP in the given mode."""
+    def run(self, mode: str = "barrier", step: int = 0) -> PhaseTimes:
+        """Simulate one SMVP in the given mode.
+
+        ``step`` is the superstep index; it only matters with a fault
+        injector attached, where it selects that superstep's (seeded)
+        fault draws so a multi-step run sees an evolving fault history.
+        """
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
+        faulty = self.injector is not None and self.injector.enabled
         if mode == "barrier":
+            if faulty:
+                return self._run_barrier_faulty(step)
             return self._run_barrier()
+        if faulty:
+            raise ValueError(
+                "fault injection is only modeled in 'barrier' mode "
+                f"(requested {mode!r})"
+            )
         if mode == "skewed":
             return self._run_skewed()
         return self._run_overlap()
@@ -127,6 +157,72 @@ class BspSimulator:
             t_comm=t_comm,
             t_smvp=t_comp + t_comm,
             per_pe_comm=busy,
+        )
+
+    def _run_barrier_faulty(self, step: int) -> PhaseTimes:
+        """Barrier mode on an imperfect machine.
+
+        Computation phase: each PE's nominal ``F_i T_f`` is stretched by
+        its straggler factor; a transiently failed PE restarts and
+        recomputes the step (time doubles) plus a fixed restart penalty.
+        The barrier makes every PE wait for the slowest.
+
+        Communication phase: each directed block is re-decided per
+        attempt; a failed attempt costs its wire time plus a timeout
+        (with exponential backoff) before the retransmit, and occupies
+        both endpoints' interfaces — exactly the accounting of
+        :func:`repro.faults.recovery.retransmit_penalty`.
+        """
+        injector = self.injector
+        cfg = injector.config
+        tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
+        stats = FaultStats()
+
+        comp = self.flops * tf
+        for pe in range(len(comp)):
+            factor = injector.straggler_factor(pe, step)
+            if factor > 1.0:
+                stats.straggler_events += 1
+                comp[pe] *= factor
+            if injector.pe_failed(pe, step):
+                stats.pe_failures += 1
+                comp[pe] = 2.0 * comp[pe] + cfg.pe_restart_penalty
+        t_comp = float(comp.max()) if len(comp) else 0.0
+
+        busy = np.zeros(self.schedule.num_parts, dtype=np.float64)
+        for msg in self.schedule.messages:
+            outcome = injector.transmission_outcome(msg.src, msg.dst, step)
+            base = tl + msg.words * tw
+            cost = base + retransmit_penalty(
+                base,
+                outcome.failures,
+                cfg.timeout_factor,
+                cfg.backoff_factor,
+            )
+            cost += outcome.duplicates * base
+            stats.injected_drops += outcome.drops
+            stats.detected_missing += outcome.drops
+            stats.injected_corruptions += outcome.corruptions
+            stats.detected_corrupt += outcome.corruptions
+            stats.injected_duplicates += outcome.duplicates
+            stats.duplicates_ignored += outcome.duplicates
+            stats.retransmits += outcome.failures
+            stats.words_retransmitted += outcome.failures * msg.words
+            if not outcome.delivered:
+                # Retry budget exhausted: the run would fail over to a
+                # checkpoint restart; charge the restart penalty to both
+                # endpoints instead of dying silently.
+                cost += cfg.pe_restart_penalty
+            busy[msg.src] += cost
+            busy[msg.dst] += cost
+        t_comm = float(busy.max()) if len(busy) else 0.0
+        return PhaseTimes(
+            mode="barrier",
+            t_comp=t_comp,
+            t_comm=t_comm,
+            t_smvp=t_comp + t_comm,
+            per_pe_comm=busy,
+            faults=stats,
         )
 
     def _run_skewed(self) -> PhaseTimes:

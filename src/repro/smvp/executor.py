@@ -17,11 +17,14 @@ counts are exactly the F, C_i, and B_i the model consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.faults.detection import FaultStats, block_checksum, verify_block
+from repro.faults.errors import ExchangeFaultError
+from repro.faults.injector import BlockFault, FaultInjector
 from repro.fem.assembly import assemble_subdomain_stiffness
 from repro.fem.material import ElementMaterials
 from repro.mesh.core import TetMesh
@@ -34,10 +37,17 @@ from repro.smvp.schedule import CommSchedule
 @dataclass(frozen=True)
 class ExchangeRecord:
     """Observed traffic for one executed SMVP (sanity-checkable against
-    the static schedule)."""
+    the static schedule).
+
+    With fault injection active, ``words_sent``/``blocks_sent`` count
+    every transmission that actually happened — retransmits and
+    duplicates included — so they can exceed the static schedule; the
+    ``faults`` tally explains exactly by how much and why.
+    """
 
     words_sent: np.ndarray  # per PE
     blocks_sent: np.ndarray  # per PE
+    faults: Optional[FaultStats] = None  # None on the fault-free path
 
 
 class DistributedSMVP:
@@ -49,6 +59,15 @@ class DistributedSMVP:
         The global problem.
     kernel:
         Local kernel name from :data:`repro.smvp.kernels.KERNELS`.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`.  When enabled,
+        the exchange phase runs a checksummed, retransmitting protocol:
+        injected drops/corruptions are detected (timeout / CRC mismatch)
+        and recovered by resending from the sender's partial, duplicates
+        are delivered once, and the per-exchange :class:`FaultStats` are
+        attached to the :class:`ExchangeRecord`.  With no injector (or a
+        disabled one) the exchange takes the original fault-free path,
+        bit for bit.
     """
 
     def __init__(
@@ -57,9 +76,12 @@ class DistributedSMVP:
         partition: Partition,
         materials: ElementMaterials,
         kernel: str = "csr",
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}")
+        self.injector = injector
+        self._superstep = 0  # exchange counter; keys the fault streams
         self.mesh = mesh
         self.partition = partition
         self.distribution = DataDistribution(mesh, partition)
@@ -101,6 +123,10 @@ class DistributedSMVP:
     def num_parts(self) -> int:
         return self.partition.num_parts
 
+    def reset_superstep(self, step: int = 0) -> None:
+        """Rewind the exchange counter (reproducible fault histories)."""
+        self._superstep = step
+
     def flops_per_pe(self) -> np.ndarray:
         """Actual F_i = 2 * nnz of each PE's local matrix."""
         return np.array([2 * k.nnz for k in self.local_matrices], dtype=np.int64)
@@ -122,7 +148,7 @@ class DistributedSMVP:
         ]
 
     def communication_phase(
-        self, y_locals: List[np.ndarray]
+        self, y_locals: List[np.ndarray], step: Optional[int] = None
     ) -> Tuple[List[np.ndarray], ExchangeRecord]:
         """Pairwise exchange-and-sum of shared partial y values.
 
@@ -130,7 +156,16 @@ class DistributedSMVP:
         message passing would), then all contributions are summed —
         nodes shared by three or more PEs receive every other owner's
         partial exactly once.
+
+        ``step`` keys the fault injector's per-superstep streams; it
+        defaults to an internal counter so repeated SMVPs (time
+        stepping) see an evolving fault history.
         """
+        if step is None:
+            step = self._superstep
+        self._superstep = step + 1
+        if self.injector is not None and self.injector.enabled:
+            return self._communication_phase_faulty(y_locals, step)
         p = self.num_parts
         words_sent = np.zeros(p, dtype=np.int64)
         blocks_sent = np.zeros(p, dtype=np.int64)
@@ -149,6 +184,92 @@ class DistributedSMVP:
         for dst, dof, buf in sends:
             y_locals[dst][dof] += buf
         return y_locals, ExchangeRecord(words_sent, blocks_sent)
+
+    def _communication_phase_faulty(
+        self, y_locals: List[np.ndarray], step: int
+    ) -> Tuple[List[np.ndarray], ExchangeRecord]:
+        """The exchange under fault injection: checksum + retransmit.
+
+        Same data flow as the clean phase, but every directed block runs
+        a small reliability protocol: the sender computes a CRC-32 over
+        the payload; the injector may drop the block (detected by the
+        receiver's timeout against the static schedule — it knows what
+        it is owed), flip a bit in flight (detected by the checksum), or
+        deliver it twice (deduplicated by sequence id, i.e. applied
+        once).  Failed deliveries are retransmitted from the sender's
+        still-intact partial, so the summed result is bit-identical to
+        the fault-free exchange whenever recovery succeeds.
+        """
+        p = self.num_parts
+        words_sent = np.zeros(p, dtype=np.int64)
+        blocks_sent = np.zeros(p, dtype=np.int64)
+        stats = FaultStats()
+        sends: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for a, b, ia, ib in self._pairs:
+            dof_a = (3 * ia[:, None] + np.arange(3)).ravel()
+            dof_b = (3 * ib[:, None] + np.arange(3)).ravel()
+            buf_ab = y_locals[a][dof_a].copy()  # a -> b
+            buf_ba = y_locals[b][dof_b].copy()  # b -> a
+            for src, dst, dof_dst, clean in (
+                (a, b, dof_b, buf_ab),
+                (b, a, dof_a, buf_ba),
+            ):
+                payload = self._transmit(
+                    src, dst, clean, step, stats, words_sent, blocks_sent
+                )
+                sends.append((dst, dof_dst, payload))
+        for dst, dof, buf in sends:
+            y_locals[dst][dof] += buf
+        return y_locals, ExchangeRecord(words_sent, blocks_sent, faults=stats)
+
+    def _transmit(
+        self,
+        src: int,
+        dst: int,
+        clean: np.ndarray,
+        step: int,
+        stats: FaultStats,
+        words_sent: np.ndarray,
+        blocks_sent: np.ndarray,
+    ) -> np.ndarray:
+        """Deliver one directed block through the injector, with retries.
+
+        Returns the payload as received (always equal to ``clean`` on
+        success — corrupted attempts never survive the checksum).
+        """
+        injector = self.injector
+        checksum = block_checksum(clean)
+        max_attempts = injector.config.max_retries + 1
+        for attempt in range(max_attempts):
+            if attempt > 0:
+                stats.retransmits += 1
+                stats.words_retransmitted += clean.size
+            payload = clean.copy()
+            words_sent[src] += payload.size
+            blocks_sent[src] += 1
+            fault = injector.block_fault(src, dst, step, attempt)
+            if fault is BlockFault.DROP:
+                stats.injected_drops += 1
+                stats.detected_missing += 1  # receiver's timeout fires
+                continue
+            if fault is BlockFault.BITFLIP:
+                stats.injected_corruptions += 1
+                injector.corrupt(payload, src, dst, step, attempt)
+            elif fault is BlockFault.DUPLICATE:
+                stats.injected_duplicates += 1
+                stats.duplicates_ignored += 1
+                # The redundant copy is real traffic, applied zero times.
+                words_sent[src] += payload.size
+                blocks_sent[src] += 1
+            if not verify_block(payload, checksum):
+                stats.detected_corrupt += 1
+                continue
+            return payload
+        raise ExchangeFaultError(
+            f"block {src}->{dst} (superstep {step}) failed "
+            f"{max_attempts} transmission attempts; raise max_retries or "
+            "lower the fault rates"
+        )
 
     def gather(self, y_locals: List[np.ndarray]) -> np.ndarray:
         """Collect the (now globally summed) y into one global vector."""

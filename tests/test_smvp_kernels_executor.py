@@ -59,12 +59,26 @@ class TestDistributedSMVP:
         ds = DistributedSMVP(demo_mesh, partition, demo_materials)
         assert ds.verify_against_global(demo_stiffness) < 1e-12
 
-    def test_bsr_kernel_matches(self, demo_mesh, demo_materials, demo_stiffness):
-        partition = partition_mesh(demo_mesh, 4)
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_every_kernel_matches_global_product(
+        self, demo_mesh, demo_materials, demo_stiffness, kernel
+    ):
+        partition = partition_mesh(demo_mesh, 6, seed=2)
         ds = DistributedSMVP(
-            demo_mesh, partition, demo_materials, kernel="bsr3x3"
+            demo_mesh, partition, demo_materials, kernel=kernel
         )
         assert ds.verify_against_global(demo_stiffness) < 1e-12
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_every_kernel_multiply_agrees(
+        self, demo_mesh, demo_materials, demo_stiffness, kernel
+    ):
+        partition = partition_mesh(demo_mesh, 6, seed=2)
+        ds = DistributedSMVP(
+            demo_mesh, partition, demo_materials, kernel=kernel
+        )
+        x = np.random.default_rng(7).standard_normal(3 * demo_mesh.num_nodes)
+        assert np.allclose(ds.multiply(x), demo_stiffness @ x, rtol=1e-10)
 
     def test_unknown_kernel(self, demo_mesh, demo_materials):
         partition = partition_mesh(demo_mesh, 4)

@@ -74,6 +74,7 @@ class TestGenerators:
             "tf",
             "validation",
             "prediction",
+            "reliability",
         }
 
     def test_fig2(self):
