@@ -1,0 +1,195 @@
+"""The ``repro-lint`` engine: findings, the rule registry, file walking.
+
+A *rule* inspects one file and yields :class:`Finding` objects.  Python
+sources are parsed once and handed to every AST rule; golden-schedule
+JSON files (``*schedule*.json``) go to the data rules.  Findings on
+lines carrying a ``# repro-lint: ignore[...]`` pragma are dropped (see
+:mod:`repro.analysis.pragmas`).
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``json``)
+so the lint job can run before the scientific stack is even importable.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis import pragmas
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name``/``description`` and override either
+    :meth:`check_python` (AST rules) or :meth:`check_data` (golden
+    schedule files).
+    """
+
+    name = "abstract"
+    description = ""
+
+    def check_python(
+        self, path: str, source: str, tree: ast.AST
+    ) -> Iterable[Finding]:
+        return ()
+
+    def check_data(self, path: str, payload: object) -> Iterable[Finding]:
+        return ()
+
+
+#: Registry, in reporting order.  Populated by ``register``.
+ALL_RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls):
+    """Class decorator adding a rule to :data:`ALL_RULES`."""
+    if rule_cls.name in ALL_RULES:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    ALL_RULES[rule_cls.name] = rule_cls()
+    return rule_cls
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule modules (registration happens on import)."""
+    from repro.analysis import determinism, schedule_check, units  # noqa: F401
+
+
+def iter_target_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into the lintable file list.
+
+    Directories are walked recursively for ``.py`` files and
+    ``*schedule*.json`` golden files; explicit file arguments are taken
+    as-is.  Hidden directories and ``__pycache__`` are skipped.
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py") or (
+                    name.endswith(".json") and "schedule" in name
+                ):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the (selected) rules over one file."""
+    _ensure_rules_loaded()
+    active = [
+        rule
+        for name, rule in ALL_RULES.items()
+        if rules is None or name in rules
+    ]
+    findings: List[Finding] = []
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                return [
+                    Finding(
+                        rule="schedule-invariant",
+                        path=path,
+                        line=exc.lineno,
+                        col=exc.colno,
+                        message=f"unparseable schedule file: {exc.msg}",
+                    )
+                ]
+        for rule in active:
+            findings.extend(rule.check_data(path, payload))
+        return findings
+
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    if pragmas.file_skipped(lines):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    for rule in active:
+        for finding in rule.check_python(path, source, tree):
+            if not pragmas.suppressed(lines, finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every target file under ``paths``; findings sorted by location."""
+    _ensure_rules_loaded()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(ALL_RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown rules {unknown}; available: {sorted(ALL_RULES)}"
+            )
+    findings: List[Finding] = []
+    for path in iter_target_files(paths):
+        findings.extend(lint_file(path, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [finding.format() for finding in findings]
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s)"
+        if findings
+        else "repro-lint: clean"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (``--json``): stable schema for tooling."""
+    return json.dumps(
+        {
+            "version": 1,
+            "count": len(findings),
+            "findings": [asdict(finding) for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,63 @@
+"""Inline suppression pragmas for ``repro-lint``.
+
+Syntax (anywhere in a comment on the offending line)::
+
+    x = random.random()  # repro-lint: ignore[unseeded-random]
+    y = foo()            # repro-lint: ignore[rule-a,rule-b]
+    z = bar()            # repro-lint: ignore
+
+A bare ``ignore`` suppresses every rule on that line; the bracketed
+form suppresses only the named rules.  A file whose first three lines
+contain ``# repro-lint: skip-file`` is exempt entirely (reserved for
+generated code; nothing in ``src/`` should need it).
+
+Pragmas are the escape hatch for *intentional* nondeterminism — e.g.
+the wall-clock reads inside :mod:`repro.util.clock` itself — and every
+use is expected to be self-explanatory in review.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Optional
+
+#: Matches one pragma comment; group 1 is the optional rule list.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s-]+)\])?"
+)
+
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+#: All rules, as far as a bare ``ignore`` is concerned.
+ALL = frozenset({"*"})
+
+
+def parse_line_pragma(line: str) -> Optional[FrozenSet[str]]:
+    """Rules suppressed on this source line, or ``None`` if no pragma.
+
+    Returns :data:`ALL` for a bare ``ignore``.
+    """
+    match = _PRAGMA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group(1)
+    if rules is None:
+        return ALL
+    return frozenset(
+        name.strip() for name in rules.split(",") if name.strip()
+    )
+
+
+def file_skipped(lines: List[str]) -> bool:
+    """Whether the file opts out wholesale (``skip-file`` in the head)."""
+    return any(_SKIP_FILE_RE.search(line) for line in lines[:3])
+
+
+def suppressed(lines: List[str], rule: str, line_number: int) -> bool:
+    """Whether ``rule`` is pragma-suppressed at 1-based ``line_number``."""
+    if not 1 <= line_number <= len(lines):
+        return False
+    rules = parse_line_pragma(lines[line_number - 1])
+    if rules is None:
+        return False
+    return rules is ALL or "*" in rules or rule in rules

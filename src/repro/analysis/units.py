@@ -1,0 +1,135 @@
+"""Dimensional-consistency lint for the performance-model code.
+
+Equations (1) and (2) mix quantities of four base dimensions — times
+(``T_f``, ``T_l``, ``T_w``, ``T_c`` in *seconds*), volumes (``C_max``
+in *words*), counts (``B_max`` in *blocks*), and work (``F`` in
+*flops*) — and the classic reproduction bug is adding across them
+(e.g. adding a block latency to a bandwidth, or nanoseconds to
+seconds).  NumPy will not complain; this rule does.
+
+The pass is deliberately *leaf-level*: a dimension is inferred only
+for a bare name or attribute whose (case-insensitive) terminal segment
+is in the catalog below, propagated through unary minus and
+subscripting.  An ``a + b`` or ``a - b`` whose two sides infer to
+*different* dimensions is flagged; anything involving a computed
+subexpression (calls, products, ratios) is left alone, so the rule has
+essentially no false-positive surface — at the cost of only catching
+the direct form of the mistake.
+
+Catalog (terminal name -> dimension):
+
+========================  =================
+``tf tl tw tc t_comp ...``  seconds
+``tf_ns``                   nanoseconds
+``c_max words ...``         words
+``b_max blocks ...``        blocks
+``flops boundary_flops``    flops
+``mflops``                  flops/second
+``bandwidth *_bytes``       bytes/second
+========================  =================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.analysis.core import Finding, Rule, register
+
+#: Terminal identifier (lowercased) -> dimension label.
+NAME_DIMS: Dict[str, str] = {}
+
+
+def _catalog(dim: str, *names: str) -> None:
+    for name in names:
+        NAME_DIMS[name] = dim
+
+
+_catalog(
+    "seconds",
+    "tf",
+    "tl",
+    "tw",
+    "tc",
+    "t_f",
+    "t_l",
+    "t_w",
+    "t_c",
+    "t_comp",
+    "t_comm",
+    "t_smvp",
+    "half_tl",
+    "half_tw",
+    "dt",
+    "elapsed",
+    "seconds",
+    "seconds_total",
+    "seconds_octree",
+    "seconds_mesh",
+    "seconds_per_smvp",
+    "seconds_per_product",
+    "duration",
+    "period",
+    "timeout",
+)
+_catalog("nanoseconds", "tf_ns", "tl_ns", "tw_ns", "tc_ns")
+_catalog(
+    "words", "words", "c_max", "c_i", "total_words", "bisection_words"
+)
+_catalog("blocks", "blocks", "b_max", "b_i", "total_blocks")
+_catalog("flops", "flops", "boundary_flops")
+_catalog("flops/second", "mflops")
+_catalog(
+    "bytes/second",
+    "bandwidth",
+    "burst_bandwidth_bytes",
+    "sustained_bandwidth_bytes",
+    "bytes_per_s",
+    "bytes_per_second",
+)
+
+
+def leaf_dimension(node: ast.AST) -> Optional[str]:
+    """Dimension of a leaf expression, or ``None`` when not inferable."""
+    if isinstance(node, ast.Name):
+        return NAME_DIMS.get(node.id.lower())
+    if isinstance(node, ast.Attribute):
+        return NAME_DIMS.get(node.attr.lower())
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return leaf_dimension(node.operand)
+    if isinstance(node, ast.Subscript):
+        return leaf_dimension(node.value)
+    return None
+
+
+@register
+class UnitMismatchRule(Rule):
+    name = "unit-mismatch"
+    description = (
+        "adds/subtracts model quantities of different dimensions "
+        "(e.g. a latency and a bandwidth)"
+    )
+
+    def check_python(self, path, source, tree):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = leaf_dimension(node.left)
+            right = leaf_dimension(node.right)
+            if left is not None and right is not None and left != right:
+                verb = "add" if isinstance(node.op, ast.Add) else "subtract"
+                yield Finding(
+                    rule=self.name,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"cannot {verb} {left} and {right}: Eq. (1)/(2) "
+                        "quantities only combine through products/ratios "
+                        "(convert units explicitly first)"
+                    ),
+                )

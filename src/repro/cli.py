@@ -17,6 +17,11 @@
 ``repro-faults``
     Sweep fault rates through the BSP simulator and the distributed
     executor's recovery protocol; print the reliability tables.
+
+``repro-lint``
+    Determinism / units / BSP-invariant static analysis over the
+    source tree (and golden ``*schedule*.json`` files).  Exits 1 on
+    findings; gates CI.
 """
 
 from __future__ import annotations
@@ -270,6 +275,74 @@ def main_faults(argv: Optional[List[str]] = None) -> int:
         )
     )
     return 0
+
+
+def main_lint(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-lint``: the static-analysis gate."""
+    from repro.analysis import (
+        ALL_RULES,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis for reproducibility: determinism lints "
+            "(unseeded RNG, wall-clock reads, set-order iteration), "
+            "dimensional consistency of the Eq. (1)/(2) model code, and "
+            "BSP exchange-schedule invariants (pairwise symmetry, "
+            "deadlock-freedom, shared-node coverage) over golden "
+            "*schedule*.json files."
+        ),
+        epilog=(
+            "Suppress an intentional finding with an inline "
+            "`# repro-lint: ignore[rule]` pragma. Exit status: 0 clean, "
+            "1 findings, 2 usage error."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="*",
+        default=None,
+        metavar="RULE",
+        help="restrict to these rules (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis.core import _ensure_rules_loaded
+
+        _ensure_rules_loaded()
+        for name, rule in ALL_RULES.items():
+            print(f"{name:<22} {rule.description}")
+        return 0
+    try:
+        findings = lint_paths(args.paths, rules=args.rules)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(render_json(findings))
+    else:
+        sys.stdout.write(render_text(findings))
+    return 1 if findings else 0
 
 
 def main_measure(argv: Optional[List[str]] = None) -> int:

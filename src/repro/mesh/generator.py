@@ -32,7 +32,6 @@ depend only on that structure; see DESIGN.md.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -42,6 +41,7 @@ from repro.mesh.core import TetMesh
 from repro.mesh.delaunay import delaunay_tetrahedralize
 from repro.mesh.stuffing import jitter_mesh, stuff_octree
 from repro.octree import LinearOctree, graded_points
+from repro.util.clock import now
 from repro.velocity.basin import BasinModel
 from repro.velocity.sizing import SizingField, WavelengthSizingField
 
@@ -127,7 +127,7 @@ def generate_mesh(
         sizing = WavelengthSizingField(
             model, period=period, points_per_wavelength=points_per_wavelength
         )
-    t0 = time.perf_counter()
+    t0 = now()
     tree = LinearOctree.build(
         model.domain,
         sizing,
@@ -137,7 +137,7 @@ def generate_mesh(
         dither=dither,
         dither_seed=seed,
     )
-    t1 = time.perf_counter()
+    t1 = now()
     if method == "stuffing":
         mesh, spacing = stuff_octree(tree)
         if jitter:
@@ -145,7 +145,7 @@ def generate_mesh(
     else:
         points, _spacing = graded_points(tree, amplitude=jitter, seed=seed)
         mesh = delaunay_tetrahedralize(points)
-    t2 = time.perf_counter()
+    t2 = now()
     report = MeshBuildReport(
         period=float(period),
         method=method,

@@ -123,7 +123,9 @@ def smooth_partition(
             candidates.discard(src)
             best_dst = None
             best_delta = 0
-            for dst in candidates:
+            # Sorted so tie-breaks (equal deltas) pick the same
+            # destination on every run — set order would not.
+            for dst in sorted(candidates):
                 if sizes[dst] + 1 > max_size:
                     continue
                 delta = sharing_delta(element, src, int(dst))

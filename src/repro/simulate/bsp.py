@@ -46,6 +46,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import check_schedule_contract
 from repro.faults.detection import FaultStats
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import retransmit_penalty
@@ -101,6 +102,7 @@ class BspSimulator:
         injector: Optional[FaultInjector] = None,
     ) -> None:
         machine.require_comm("the BSP simulator")
+        check_schedule_contract(schedule)
         self.flops = np.asarray(flops_per_pe, dtype=np.float64)
         self.schedule = schedule
         self.machine = machine

@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.contracts import check_partition_cover_contract
 from repro.mesh.core import TetMesh
 from repro.mesh.topology import unique_edges
 from repro.partition.base import Partition
@@ -40,6 +41,7 @@ class DataDistribution:
     def __init__(self, mesh: TetMesh, partition: Partition) -> None:
         if partition.num_elements != mesh.num_elements:
             raise ValueError("partition does not match mesh")
+        check_partition_cover_contract(partition, mesh)
         self.mesh = mesh
         self.partition = partition
 

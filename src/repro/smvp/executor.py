@@ -22,6 +22,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.contracts import (
+    check_csr_contract,
+    check_schedule_contract,
+)
 from repro.faults.detection import FaultStats, block_checksum, verify_block
 from repro.faults.errors import ExchangeFaultError
 from repro.faults.injector import BlockFault, FaultInjector
@@ -102,7 +106,9 @@ class DistributedSMVP:
                 nodes,
                 fmt=fmt,
             )
+            check_csr_contract(local_k, context=f"PE {part} local stiffness")
             self.local_matrices.append(local_k)
+        check_schedule_contract(self.schedule, self.distribution)
 
         # Per unordered pair: (part_a, part_b, local indices on a, on b).
         self._pairs: List[Tuple[int, int, np.ndarray, np.ndarray]] = []

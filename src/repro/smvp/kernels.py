@@ -12,12 +12,13 @@ per stored nonzero).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.util.clock import now
 
 #: Signature of a local SMVP kernel: (matrix, x) -> y.
 LocalKernel = Callable[[sp.spmatrix, np.ndarray], np.ndarray]
@@ -135,10 +136,10 @@ def measure_tf(
     flops = 2 * nnz
     for _ in range(warmup):
         fn(matrix, x)
-    t0 = time.perf_counter()
+    t0 = now()
     for _ in range(repetitions):
         fn(matrix, x)
-    elapsed = time.perf_counter() - t0
+    elapsed = now() - t0
     per_product = elapsed / repetitions
     tf_ns = 1e9 * per_product / flops if flops else float("nan")
     return TfMeasurement(

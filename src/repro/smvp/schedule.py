@@ -128,6 +128,31 @@ class CommSchedule:
         mat = self.word_matrix
         return np.flatnonzero(mat[part] > 0)
 
+    def exchange_rounds(self) -> List[List[Tuple[int, int]]]:
+        """BSP-safe round structure: a greedy edge coloring of the pairs.
+
+        Returns a list of rounds, each a list of unordered PE pairs
+        ``(a, b)`` with ``a < b``; within a round every PE takes part
+        in at most one exchange, so the blocking sendrecv pattern is
+        deadlock-free by construction.  Pairs are placed first-fit in
+        sorted order, which makes the round assignment deterministic —
+        the property the ``schedule-invariant`` checker and the
+        ``REPRO_CONTRACTS=1`` runtime contract verify.
+        """
+        pairs = sorted(self.distribution.pair_shared_nodes)
+        rounds: List[List[Tuple[int, int]]] = []
+        busy: List[set] = []
+        for a, b in pairs:
+            for index, members in enumerate(busy):
+                if a not in members and b not in members:
+                    rounds[index].append((a, b))
+                    members.update((a, b))
+                    break
+            else:
+                rounds.append([(a, b)])
+                busy.append({a, b})
+        return rounds
+
     def bisection_words(self, boundary: int = -1) -> int:
         """Words crossing the PE-number bisection per SMVP.
 

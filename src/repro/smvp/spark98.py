@@ -26,7 +26,6 @@ mmv        full distributed SMVP with pairwise exchange (the paper's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -38,6 +37,7 @@ from repro.mesh.core import TetMesh
 from repro.mesh.instances import QuakeInstance, get_instance
 from repro.partition.base import partition_mesh
 from repro.smvp.executor import DistributedSMVP
+from repro.util.clock import now
 from repro.smvp.kernels import KERNELS
 
 
@@ -102,10 +102,10 @@ def run_kernel(
         fn = KERNELS[_SEQUENTIAL[kernel]]
         x = rng.standard_normal(matrix.shape[1])
         fn(matrix, x)  # warmup
-        t0 = time.perf_counter()
+        t0 = now()
         for _ in range(repetitions):
             fn(matrix, x)
-        elapsed = (time.perf_counter() - t0) / repetitions
+        elapsed = (now() - t0) / repetitions
         return KernelRun(
             kernel=kernel,
             instance=instance,
@@ -121,16 +121,16 @@ def run_kernel(
     flops = int(dist_smvp.flops_per_pe().sum())
     if kernel == "lmv":
         dist_smvp.compute_phase(x_locals)  # warmup
-        t0 = time.perf_counter()
+        t0 = now()
         for _ in range(repetitions):
             dist_smvp.compute_phase(x_locals)
-        elapsed = (time.perf_counter() - t0) / repetitions
+        elapsed = (now() - t0) / repetitions
     else:  # mmv
         dist_smvp.multiply(x)  # warmup
-        t0 = time.perf_counter()
+        t0 = now()
         for _ in range(repetitions):
             dist_smvp.multiply(x)
-        elapsed = (time.perf_counter() - t0) / repetitions
+        elapsed = (now() - t0) / repetitions
     return KernelRun(
         kernel=kernel,
         instance=instance,

@@ -1,0 +1,9 @@
+"""Shared utilities with no scientific content.
+
+Currently just :mod:`repro.util.clock`, the single audited wall-clock
+access point enforced by ``repro-lint``.
+"""
+
+from repro.util.clock import now, stopwatch
+
+__all__ = ["now", "stopwatch"]

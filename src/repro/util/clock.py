@@ -1,0 +1,38 @@
+"""The one place the codebase reads a wall clock.
+
+``repro-lint``'s ``wall-clock`` rule forbids direct ``time.*`` /
+``datetime.*`` reads everywhere in ``src/``: benchmark and harness code
+(T_f measurement, mesh-build reports) must time itself through this
+shim, and pure model/simulator code (``model/``, ``simulate/``) may not
+read clocks at all — there, simulated time is an *output* of Equations
+(1)/(2) or the BSP simulator, never a host measurement.  Routing every
+read through one module makes the boundary auditable: the two pragmas
+below are the complete inventory of nondeterministic time in the tree.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+def now() -> float:
+    """Monotonic high-resolution timestamp in seconds.
+
+    Only differences are meaningful (``perf_counter`` semantics); the
+    epoch is arbitrary.
+    """
+    return time.perf_counter()  # repro-lint: ignore[wall-clock]
+
+
+@contextmanager
+def stopwatch() -> Iterator[Callable[[], float]]:
+    """Context manager yielding a callable that reads elapsed seconds.
+
+    >>> with stopwatch() as elapsed:
+    ...     do_work()
+    >>> print(elapsed())
+    """
+    start = time.perf_counter()  # repro-lint: ignore[wall-clock]
+    yield lambda: now() - start

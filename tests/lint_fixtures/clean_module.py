@@ -1,0 +1,26 @@
+"""Fixture: deterministic code the linter must accept without findings."""
+
+import numpy as np
+
+from repro.util.clock import now
+
+
+def seeded_draws(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(8)
+
+
+def ordered_iteration(parts):
+    shared = {p for p in parts if p >= 0}
+    return [2 * p for p in sorted(shared)]
+
+
+def timed_benchmark():
+    """Benchmark code may time itself — through the shim."""
+    t0 = now()
+    seeded_draws(0)
+    return now() - t0
+
+
+def sound_model(tf, tl, tw, c_max, b_max):
+    return (b_max / c_max) * tl + tw, tf

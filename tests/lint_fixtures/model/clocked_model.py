@@ -1,0 +1,15 @@
+"""Fixture: model code reading clocks through the shim (still banned).
+
+The ``model`` directory component makes the wall-clock rule treat this
+file as pure model code, where simulated time is an output — even the
+audited ``repro.util.clock`` shim is a violation here.
+"""
+
+from repro.util import clock
+from repro.util.clock import now
+
+
+def leaky_estimate(flops, tf):
+    start = clock.now()  # wall-clock (shim call in model code)
+    t_est = flops * tf
+    return t_est, now() - start  # wall-clock (shim call in model code)

@@ -1,0 +1,23 @@
+"""Fixture: Eq. (1)/(2) dimensional mistakes the units lint must catch."""
+
+
+def broken_total_cost(tl, bandwidth):
+    """Adding a block latency (s) to a bandwidth (bytes/s)."""
+    return tl + bandwidth  # unit-mismatch
+
+
+def broken_budget(c_max, b_max):
+    """Subtracting blocks from words."""
+    return c_max - b_max  # unit-mismatch
+
+
+def broken_timescale(tf, tf_ns):
+    """Mixing seconds and nanoseconds without converting."""
+    return tf + tf_ns  # unit-mismatch
+
+
+def fine_combinations(tf, tl, tw, c_max, b_max, flops):
+    """Dimensionally sound forms that must NOT be flagged."""
+    t_comp = flops * tf
+    t_comm = b_max * tl + c_max * tw
+    return t_comp + t_comm, tl - tw

@@ -1,0 +1,133 @@
+"""Tests for the opt-in runtime contracts (``REPRO_CONTRACTS=1``).
+
+The contracts mirror the static schedule checker at the points where
+real data flows: distribution construction, executor setup, and the BSP
+simulator.  They must be inert when the environment variable is unset
+and reject corrupted structures when it is.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_csr_contract,
+    check_partition_cover_contract,
+    check_schedule_contract,
+    contracts_enabled,
+)
+from repro.partition.base import Partition, partition_mesh
+from repro.smvp.distribution import DataDistribution
+from repro.smvp.executor import DistributedSMVP
+from repro.smvp.schedule import CommSchedule, Message
+
+
+@pytest.fixture
+def enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+
+
+@pytest.fixture
+def disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+
+
+class _StubSchedule:
+    def __init__(self, num_parts, messages):
+        self.num_parts = num_parts
+        self.messages = messages
+
+
+class TestEnablement:
+    def test_flag_reflects_environment(self, enabled):
+        assert contracts_enabled()
+
+    def test_flag_off_by_default(self, disabled):
+        assert not contracts_enabled()
+
+    def test_disabled_contracts_ignore_garbage(self, disabled):
+        """With the flag unset every contract is a no-op, even on junk."""
+        check_schedule_contract(_StubSchedule(2, [(0, 1, 5)]))
+        check_csr_contract(object(), context="junk")
+        check_partition_cover_contract(object(), object())
+
+
+class TestCleanPipelinePasses:
+    def test_distributed_smvp_constructs_under_contracts(
+        self, enabled, demo_mesh, demo_materials
+    ):
+        partition = partition_mesh(demo_mesh, 4, method="rcb")
+        smvp = DistributedSMVP(demo_mesh, partition, demo_materials)
+        x = np.ones(3 * demo_mesh.num_nodes)
+        y = smvp.multiply(x)
+        assert np.all(np.isfinite(y))
+
+    def test_two_tet_instance(
+        self, enabled, two_tet_mesh, homogeneous_materials
+    ):
+        partition = partition_mesh(two_tet_mesh, 2, method="rcb")
+        smvp = DistributedSMVP(
+            two_tet_mesh, partition, homogeneous_materials(two_tet_mesh)
+        )
+        x = np.ones(3 * two_tet_mesh.num_nodes)
+        assert np.all(np.isfinite(smvp.multiply(x)))
+
+    def test_real_schedule_passes_contract(self, enabled, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4, method="rcb")
+        dist = DataDistribution(demo_mesh, partition)
+        check_schedule_contract(CommSchedule(dist), dist)
+
+
+class TestContractsReject:
+    def test_asymmetric_schedule_raises(self, enabled):
+        stub = _StubSchedule(2, [Message(src=0, dst=1, nodes=2)])
+        with pytest.raises(ContractViolation, match="asymmetry"):
+            check_schedule_contract(stub)
+
+    def test_tampered_schedule_vs_distribution_raises(
+        self, enabled, demo_mesh
+    ):
+        partition = partition_mesh(demo_mesh, 4, method="rcb")
+        dist = DataDistribution(demo_mesh, partition)
+        schedule = CommSchedule(dist)
+        msgs = list(schedule.messages)[:-2]
+        with pytest.raises(ContractViolation, match="coverage"):
+            check_schedule_contract(_StubSchedule(4, msgs), dist)
+
+    def test_bad_csr_indptr_raises(self, enabled):
+        good = sp.csr_matrix(np.eye(4))
+        check_csr_contract(good, context="identity")
+        bad = sp.csr_matrix(np.eye(4))
+        bad.indptr = np.array([0, 3, 2, 4, 4], dtype=bad.indptr.dtype)
+        with pytest.raises(ContractViolation, match="non-decreasing"):
+            check_csr_contract(bad, context="identity-corrupt")
+
+    def test_truncated_indptr_raises(self, enabled):
+        bad = sp.csr_matrix(np.eye(4))
+        bad.indptr = np.array([0, 1, 1, 2, 3], dtype=bad.indptr.dtype)
+        with pytest.raises(ContractViolation, match="stored"):
+            check_csr_contract(bad, context="identity-truncated")
+
+    def test_nonfinite_csr_data_raises(self, enabled):
+        mat = sp.csr_matrix(np.eye(3))
+        mat.data[0] = np.nan
+        with pytest.raises(ContractViolation, match="NaN"):
+            check_csr_contract(mat, context="nan-matrix")
+
+    def test_out_of_range_partition_raises(self, enabled, demo_mesh):
+        # Partition's own validation refuses out-of-range indices, so a
+        # stub stands in for a corrupted object reaching the contract.
+        class _BadPartition:
+            num_parts = 4
+            parts = np.zeros(demo_mesh.num_elements, dtype=np.int64)
+
+        _BadPartition.parts[0] = 7
+        with pytest.raises(ContractViolation, match="outside"):
+            check_partition_cover_contract(_BadPartition, demo_mesh)
+
+    def test_empty_pe_raises(self, enabled, demo_mesh):
+        parts = np.zeros(demo_mesh.num_elements, dtype=np.int64)
+        partition = Partition(parts=parts, num_parts=4)
+        with pytest.raises(ContractViolation, match="own no elements"):
+            check_partition_cover_contract(partition, demo_mesh)

@@ -1,0 +1,151 @@
+"""Tests for the ``repro-lint`` static-analysis subsystem.
+
+Covers the acceptance criteria: the purpose-built fixture files under
+``tests/lint_fixtures/`` trigger at least six distinct rules at the
+expected locations, pragmas suppress, the final source tree lints
+clean, and the CLI exit codes / ``--json`` schema behave.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_paths, render_json, render_text
+from repro.cli import main_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    return lint_paths([str(FIXTURES)])
+
+
+def rules_hit(findings, path_fragment=None):
+    return {
+        f.rule
+        for f in findings
+        if path_fragment is None or path_fragment in f.path
+    }
+
+
+class TestFixtureDetection:
+    def test_at_least_six_distinct_rules(self, fixture_findings):
+        assert len(rules_hit(fixture_findings)) >= 6
+
+    def test_determinism_rules_fire_where_expected(self, fixture_findings):
+        det = [f for f in fixture_findings if "det_violations" in f.path]
+        by_rule = {}
+        for f in det:
+            by_rule.setdefault(f.rule, []).append(f.line)
+        assert sorted(by_rule["unseeded-random"]) == [16, 17, 18]
+        assert sorted(by_rule["numpy-legacy-random"]) == [22, 23]
+        assert by_rule["unseeded-default-rng"] == [27]
+        assert sorted(by_rule["wall-clock"]) == [31, 32, 33]
+        assert sorted(by_rule["unordered-iteration"]) == [38, 39]
+
+    def test_pragma_suppresses(self, fixture_findings):
+        # The `intentional_entropy` body (line 46) carries a pragma.
+        det = [f for f in fixture_findings if "det_violations" in f.path]
+        assert all(f.line < 42 for f in det)
+
+    def test_units_rule(self, fixture_findings):
+        units = [f for f in fixture_findings if "units_violations" in f.path]
+        assert {f.rule for f in units} == {"unit-mismatch"}
+        assert sorted(f.line for f in units) == [6, 11, 16]
+        messages = " ".join(f.message for f in units)
+        assert "seconds and bytes/second" in messages
+        assert "words and blocks" in messages
+        assert "seconds and nanoseconds" in messages
+
+    def test_clock_shim_banned_in_model_code(self, fixture_findings):
+        model = [f for f in fixture_findings if "clocked_model" in f.path]
+        assert {f.rule for f in model} == {"wall-clock"}
+        assert len(model) == 2
+        assert all("clock-free" in f.message for f in model)
+
+    def test_bad_schedule_rejected(self, fixture_findings):
+        bad = [f for f in fixture_findings if "bad_schedule" in f.path]
+        assert bad and {f.rule for f in bad} == {"schedule-invariant"}
+        kinds = {f.message.split(":", 1)[0] for f in bad}
+        assert {"asymmetry", "deadlock", "parity", "coverage"} <= kinds
+        assert any("0->1->2->0" in f.message for f in bad)
+
+    def test_clean_fixtures_produce_nothing(self, fixture_findings):
+        for clean in ("clean_module", "good_schedule"):
+            assert not [f for f in fixture_findings if clean in f.path]
+
+
+class TestSourceTreeClean:
+    def test_repro_lint_src_exits_zero(self):
+        findings = lint_paths([str(SRC)])
+        assert findings == [], render_text(findings)
+
+
+class TestEngine:
+    def test_rule_catalog_is_complete(self):
+        expected = {
+            "unseeded-random",
+            "numpy-legacy-random",
+            "unseeded-default-rng",
+            "wall-clock",
+            "unordered-iteration",
+            "unit-mismatch",
+            "schedule-invariant",
+        }
+        assert expected <= set(ALL_RULES)
+
+    def test_rule_filter(self):
+        only_units = lint_paths([str(FIXTURES)], rules=["unit-mismatch"])
+        assert only_units
+        assert {f.rule for f in only_units} == {"unit-mismatch"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rules"):
+            lint_paths([str(FIXTURES)], rules=["no-such-rule"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([str(FIXTURES / "does_not_exist")])
+
+    def test_findings_sorted_and_stable(self, fixture_findings):
+        keys = [(f.path, f.line, f.col, f.rule) for f in fixture_findings]
+        assert keys == sorted(keys)
+        assert fixture_findings == lint_paths([str(FIXTURES)])
+
+    def test_render_json_schema(self, fixture_findings):
+        payload = json.loads(render_json(fixture_findings))
+        assert payload["version"] == 1
+        assert payload["count"] == len(fixture_findings)
+        first = payload["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, capsys):
+        assert main_lint([str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert main_lint([str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_mode(self, capsys):
+        assert main_lint([str(FIXTURES), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] > 0
+        assert all("rule" in f for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert main_lint(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule-invariant" in out
+        assert "unit-mismatch" in out
+
+    def test_usage_error_exit_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main_lint([str(FIXTURES), "--rules", "no-such-rule"])
+        assert exc.value.code == 2
