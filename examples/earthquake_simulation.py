@@ -17,7 +17,7 @@ import argparse
 
 import numpy as np
 
-from repro import DistributedSMVP, get_instance, partition_mesh
+from repro import DistributedSMVP, backend_names, get_instance, partition_mesh
 from repro.fem import (
     ExplicitTimeStepper,
     PointSource,
@@ -58,6 +58,12 @@ def main() -> None:
     parser.add_argument("--instance", default="demo")
     parser.add_argument("--pes", type=int, default=8)
     parser.add_argument("--steps", type=int, default=400)
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=sorted(backend_names()),
+        help="execution backend for the per-PE local products",
+    )
     args = parser.parse_args()
 
     instance = get_instance(args.instance)
@@ -74,9 +80,10 @@ def main() -> None:
     # Distribute across PEs: each step's SMVP runs the full scatter /
     # local products / exchange-and-sum cycle.
     partition = partition_mesh(mesh, args.pes, method="geometric")
-    smvp = DistributedSMVP(mesh, partition, materials)
+    smvp = DistributedSMVP(mesh, partition, materials, backend=args.backend)
     print(
-        f"{args.pes} PEs: C_max={smvp.schedule.c_max} words, "
+        f"{args.pes} PEs ({smvp.backend_name} backend): "
+        f"C_max={smvp.schedule.c_max} words, "
         f"B_max={smvp.schedule.b_max} blocks per SMVP"
     )
 
@@ -118,6 +125,7 @@ def main() -> None:
         np.abs(seismograms[:, 0]).max(), 1e-30
     )
     print(f"\nbasin/rock amplification factor: {amp:.1f}x")
+    smvp.close()
 
 
 if __name__ == "__main__":

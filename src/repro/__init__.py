@@ -38,7 +38,16 @@ from repro.mesh import (
     QuakeInstance,
 )
 from repro.partition import Partition, partition_mesh, partition_metrics
-from repro.smvp import CommSchedule, DataDistribution, DistributedSMVP
+from repro.smvp import (
+    CommSchedule,
+    DataDistribution,
+    DistributedSMVP,
+    SuperstepTrace,
+    TraceLog,
+    backend_names,
+    get_kernel,
+    kernel_names,
+)
 from repro.stats import smvp_statistics, SmvpStats, beta_bound
 from repro.model import (
     Machine,
@@ -69,6 +78,11 @@ __all__ = [
     "CommSchedule",
     "DataDistribution",
     "DistributedSMVP",
+    "SuperstepTrace",
+    "TraceLog",
+    "backend_names",
+    "get_kernel",
+    "kernel_names",
     "smvp_statistics",
     "SmvpStats",
     "beta_bound",

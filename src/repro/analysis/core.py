@@ -69,7 +69,12 @@ def register(rule_cls):
 
 def _ensure_rules_loaded() -> None:
     """Import the rule modules (registration happens on import)."""
-    from repro.analysis import determinism, schedule_check, units  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        api_rules,
+        determinism,
+        schedule_check,
+        units,
+    )
 
 
 def iter_target_files(paths: Sequence[str]) -> List[str]:

@@ -14,6 +14,10 @@
 ``repro-measure``
     Run the Spark98-style kernel suite and print T_f per kernel.
 
+``repro-trace``
+    Run time steps through the distributed executor with per-superstep
+    instrumentation attached; print the per-step phase table (or JSON).
+
 ``repro-faults``
     Sweep fault rates through the BSP simulator and the distributed
     executor's recovery protocol; print the reliability tables.
@@ -84,6 +88,12 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="use the sequential SMVP instead of the distributed executor",
     )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        help="execution backend for the compute phase "
+        "(serial / threaded / shared-memory)",
+    )
     args = parser.parse_args(argv)
 
     inst = get_instance(args.instance)
@@ -98,10 +108,12 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
     smvp = None
     if not args.sequential:
         partition = partition_mesh(mesh, args.pes)
-        smvp = DistributedSMVP(mesh, partition, materials)
+        smvp = DistributedSMVP(
+            mesh, partition, materials, backend=args.backend
+        )
         print(
-            f"distributed on {args.pes} PEs: C_max={smvp.schedule.c_max} "
-            f"B_max={smvp.schedule.b_max}"
+            f"distributed on {args.pes} PEs (backend={smvp.backend_name}): "
+            f"C_max={smvp.schedule.c_max} B_max={smvp.schedule.b_max}"
         )
     source = PointSource.at_point(
         mesh,
@@ -111,9 +123,13 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
     stepper = ExplicitTimeStepper(
         stiffness, mass, dt, damping_alpha=0.02, smvp=smvp
     )
-    records, _ = stepper.run(
-        args.steps, force_at=lambda t: source.force(t, mesh.num_nodes)
-    )
+    try:
+        records, _ = stepper.run(
+            args.steps, force_at=lambda t: source.force(t, mesh.num_nodes)
+        )
+    finally:
+        if smvp is not None:
+            smvp.close()
     peak = max(r.max_displacement for r in records)
     print(
         f"ran {args.steps} steps to t={stepper.time:.2f}s; "
@@ -347,6 +363,7 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
 
 def main_measure(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-measure``: the Spark98-style suite."""
+    from repro.smvp.backends import backend_names
     from repro.smvp.spark98 import SUITE, run_suite
 
     parser = argparse.ArgumentParser(
@@ -359,6 +376,12 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--kernels", nargs="*", default=None, help=f"subset of {SUITE}"
     )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=backend_names(),
+        help="execution backend for the partitioned kernels (lmv/mmv)",
+    )
     args = parser.parse_args(argv)
     kernels = tuple(args.kernels) if args.kernels else SUITE
     unknown = [k for k in kernels if k not in SUITE]
@@ -369,12 +392,124 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         num_parts=args.pes,
         repetitions=args.repetitions,
         kernels=kernels,
+        backend=args.backend,
     )
-    print(f"{'kernel':<8} {'p':>4} {'flops':>12} {'s/SMVP':>12} {'T_f ns':>9} {'MFLOPS':>8}")
+    print(
+        f"{'kernel':<8} {'p':>4} {'backend':<13} {'flops':>12} "
+        f"{'s/SMVP':>12} {'T_f ns':>9} {'MFLOPS':>8}"
+    )
     for name, run in results.items():
         print(
-            f"{name:<8} {run.num_parts:>4} {run.flops:>12,} "
+            f"{name:<8} {run.num_parts:>4} {run.backend:<13} {run.flops:>12,} "
             f"{run.seconds_per_smvp:>12.6f} {run.tf_ns:>9.2f} "
             f"{run.mflops:>8.0f}"
         )
+    return 0
+
+
+def main_trace(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-trace``: per-superstep instrumentation.
+
+    Runs a short time-stepped simulation with the distributed executor
+    and a :class:`~repro.smvp.trace.TraceLog` attached, then prints the
+    per-step phase table (wall time per phase, per-PE traffic, faults)
+    or the JSON report.
+    """
+    import numpy as np
+
+    from repro.faults import FaultConfig, FaultInjector
+    from repro.fem import (
+        ExplicitTimeStepper,
+        assemble_lumped_mass,
+        assemble_stiffness,
+        materials_from_model,
+        stable_timestep,
+    )
+    from repro.mesh.instances import get_instance, instance_names
+    from repro.partition.base import partition_mesh
+    from repro.smvp.backends import backend_names
+    from repro.smvp.executor import DistributedSMVP
+    from repro.smvp.kernels import kernel_names
+    from repro.smvp.trace import TraceLog
+
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Trace the superstep engine: run time steps through the "
+            "distributed executor and print per-phase wall times, "
+            "per-PE traffic, and fault statistics for every superstep."
+        ),
+    )
+    parser.add_argument(
+        "--instance", default="demo", choices=list(instance_names())
+    )
+    parser.add_argument("--pes", type=int, default=8, help="number of PEs")
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument(
+        "--kernel", default="csr", choices=kernel_names()
+    )
+    parser.add_argument(
+        "--backend", default="serial", choices=backend_names()
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="uniform drop/bitflip/duplicate rate through the exchange "
+        "middleware (0 = clean path)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of the table",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.fault_rate <= 0.3:
+        parser.error("--fault-rate must be in [0, 0.3]")
+
+    inst = get_instance(args.instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    stiffness = assemble_stiffness(mesh, materials)
+    mass = assemble_lumped_mass(mesh, materials)
+    dt = stable_timestep(mesh, materials)
+    partition = partition_mesh(mesh, args.pes)
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(
+            FaultConfig(
+                seed=args.seed,
+                drop_rate=args.fault_rate,
+                bitflip_rate=args.fault_rate,
+                duplicate_rate=args.fault_rate,
+            )
+        )
+    smvp = DistributedSMVP(
+        mesh,
+        partition,
+        materials,
+        kernel=args.kernel,
+        backend=args.backend,
+        injector=injector,
+    )
+    log = TraceLog()
+    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
+    force = np.zeros(3 * mesh.num_nodes)
+    force[: min(300, force.size)] = 1e9
+    try:
+        stepper.run(
+            args.steps, force_at=lambda t: force, trace_sink=log
+        )
+    finally:
+        smvp.close()
+    if args.json:
+        print(log.render_json())
+    else:
+        print(
+            f"instance={args.instance} pes={args.pes} "
+            f"kernel={args.kernel} backend={args.backend} "
+            f"fault_rate={args.fault_rate}"
+        )
+        print(log.render_table())
     return 0

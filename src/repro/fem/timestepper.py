@@ -150,6 +150,7 @@ class ExplicitTimeStepper:
         force_at: Optional[Callable[[float], np.ndarray]] = None,
         record_nodes: Optional[np.ndarray] = None,
         checkpoint=None,
+        trace_sink=None,
     ):
         """Run ``num_steps`` steps.
 
@@ -166,6 +167,14 @@ class ExplicitTimeStepper:
             its state at the manager's interval, so a killed run can
             resume from the latest checkpoint and reproduce the
             uninterrupted trajectory exactly.
+        trace_sink:
+            Optional callable receiving one
+            :class:`~repro.smvp.trace.SuperstepTrace` per time step
+            (each step is exactly one superstep).  Requires the SMVP to
+            be a tracing executor — a
+            :class:`~repro.smvp.executor.DistributedSMVP`; the sink is
+            attached for the duration of the run and the executor's
+            previous sink restored afterwards.
 
         Returns
         -------
@@ -174,18 +183,32 @@ class ExplicitTimeStepper:
             ``seismograms`` is ``(num_steps, len(record_nodes), 3)`` or
             ``None``.
         """
-        records: List[StepRecord] = []
-        seis = None
-        if record_nodes is not None:
-            record_nodes = np.asarray(record_nodes, dtype=np.int64)
-            seis = np.zeros((num_steps, len(record_nodes), 3))
-        for k in range(num_steps):
-            force = force_at(self.time) if force_at is not None else None
-            rec = self.step(force)
-            records.append(rec)
-            if seis is not None:
-                dof = (3 * record_nodes[:, None] + np.arange(3)).ravel()
-                seis[k] = self.u[dof].reshape(-1, 3)
-            if checkpoint is not None:
-                checkpoint.maybe_save(self)
-        return records, seis
+        previous_sink = None
+        if trace_sink is not None:
+            if not hasattr(self._smvp, "trace_sink"):
+                raise ValueError(
+                    "trace_sink needs an SMVP that emits SuperstepTrace "
+                    "records (a DistributedSMVP); the sequential matvec "
+                    "has no superstep phases to trace"
+                )
+            previous_sink = self._smvp.trace_sink
+            self._smvp.trace_sink = trace_sink
+        try:
+            records: List[StepRecord] = []
+            seis = None
+            if record_nodes is not None:
+                record_nodes = np.asarray(record_nodes, dtype=np.int64)
+                seis = np.zeros((num_steps, len(record_nodes), 3))
+            for k in range(num_steps):
+                force = force_at(self.time) if force_at is not None else None
+                rec = self.step(force)
+                records.append(rec)
+                if seis is not None:
+                    dof = (3 * record_nodes[:, None] + np.arange(3)).ravel()
+                    seis[k] = self.u[dof].reshape(-1, 3)
+                if checkpoint is not None:
+                    checkpoint.maybe_save(self)
+            return records, seis
+        finally:
+            if trace_sink is not None:
+                self._smvp.trace_sink = previous_sink

@@ -52,26 +52,26 @@ from repro.faults.injector import FaultInjector
 from repro.faults.recovery import retransmit_penalty
 from repro.model.machine import Machine
 from repro.smvp.schedule import CommSchedule
+from repro.smvp.trace import PhaseBreakdown
 
 #: Execution modes accepted by :meth:`BspSimulator.run`.
 MODES = ("barrier", "skewed", "overlap")
 
 
 @dataclass(frozen=True)
-class PhaseTimes:
-    """Simulated timing of one SMVP."""
+class PhaseTimes(PhaseBreakdown):
+    """Simulated timing of one SMVP.
+
+    Extends the shared :class:`~repro.smvp.trace.PhaseBreakdown` core
+    (t_comp / t_comm / t_smvp / efficiency) — the same fields the real
+    executor's measured :class:`~repro.smvp.trace.SuperstepTrace`
+    carries — with what only the simulator knows: the execution mode
+    and each PE's modeled communication busy time.
+    """
 
     mode: str
-    t_comp: float  # end of the (global) computation phase
-    t_comm: float  # duration of the communication phase
-    t_smvp: float  # total
     per_pe_comm: np.ndarray  # each PE's own communication busy time
     faults: Optional[FaultStats] = None  # injected-fault tally, if any
-
-    @property
-    def efficiency(self) -> float:
-        """T_comp / T_smvp, the paper's efficiency definition."""
-        return self.t_comp / self.t_smvp if self.t_smvp > 0 else 1.0
 
 
 class BspSimulator:

@@ -13,10 +13,18 @@ sequential product.
   per ordered neighbor pair carrying 3 words (x/y/z displacement) per
   shared node; per-PE word and block counts (the C_i and B_i of the
   paper's model).
-* :mod:`~repro.smvp.kernels` — local SMVP kernels (scipy CSR, 3x3 BSR,
-  a pure-Python reference) and T_f measurement.
+* :mod:`~repro.smvp.kernels` — local SMVP kernels behind the
+  prepare/apply :class:`~repro.smvp.kernels.Kernel` protocol (scipy
+  CSR, 3x3 BSR, symmetric upper-triangle, a pure-Python reference) and
+  T_f measurement.
+* :mod:`~repro.smvp.backends` — execution backends for the compute
+  phase: ``serial``, ``threaded``, ``shared-memory``.
+* :mod:`~repro.smvp.exchange` — the exchange-and-sum as composable
+  steps, with the fault protocol as transport middleware.
+* :mod:`~repro.smvp.trace` — per-superstep instrumentation records and
+  trace sinks.
 * :mod:`~repro.smvp.executor` — the two-phase bulk-synchronous
-  distributed SMVP.
+  distributed SMVP tying the layers together.
 * :mod:`~repro.smvp.spark98` — a Spark98-style named kernel suite.
 """
 
@@ -24,12 +32,25 @@ from repro.smvp.distribution import DataDistribution
 from repro.smvp.schedule import CommSchedule, Message
 from repro.smvp.kernels import (
     KERNELS,
+    Kernel,
     LocalKernel,
     csr_kernel,
     bsr_kernel,
+    get_kernel,
+    kernel_names,
     python_csr_kernel,
+    register_kernel,
+    symmetric_upper_kernel,
     measure_tf,
 )
+from repro.smvp.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    backend_names,
+    make_backend,
+)
+from repro.smvp.exchange import ExchangeRecord
+from repro.smvp.trace import PhaseBreakdown, SuperstepTrace, TraceLog
 from repro.smvp.executor import DistributedSMVP
 
 __all__ = [
@@ -37,10 +58,23 @@ __all__ = [
     "CommSchedule",
     "Message",
     "KERNELS",
+    "Kernel",
     "LocalKernel",
     "csr_kernel",
     "bsr_kernel",
     "python_csr_kernel",
+    "symmetric_upper_kernel",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
     "measure_tf",
+    "BACKENDS",
+    "ExecutionBackend",
+    "backend_names",
+    "make_backend",
+    "ExchangeRecord",
+    "PhaseBreakdown",
+    "SuperstepTrace",
+    "TraceLog",
     "DistributedSMVP",
 ]

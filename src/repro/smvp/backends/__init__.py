@@ -1,0 +1,79 @@
+"""Execution backends for the compute phase.
+
+The compute phase of a superstep is an embarrassingly parallel list of
+per-PE local products ``y_i = K_i @ x_i``.  How those products actually
+run on the host is a *backend* decision, orthogonal to the storage
+format (the kernel) and to the exchange protocol:
+
+``serial``
+    One product after another in the calling thread — the historical
+    executor semantics, bit for bit.
+
+``threaded``
+    The per-PE products on a thread pool.  scipy's matvec releases the
+    GIL, so on a multi-core host the compute phase genuinely speeds up
+    (this is the intra-node half of hybrid MPI+OpenMP SMVP
+    decompositions).  Results are ordered by PE index and bit-identical
+    to ``serial`` — each product is the same code on the same data.
+
+``shared-memory``
+    The per-PE products on a process pool.  Each worker holds its own
+    prepared kernel states (inherited at pool setup), so a compute call
+    ships only the x vectors — the closest in-process analogue to PEs
+    with private memories.
+
+Backends implement :class:`ExecutionBackend`: ``setup(kernel,
+matrices)`` prepares per-PE kernel states once (format conversion
+happens here, never per product), ``compute(x_locals)`` runs one
+compute phase, ``close()`` releases pools.  Select one by name through
+:func:`make_backend` or ``DistributedSMVP(backend=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.smvp.backends.base import ExecutionBackend
+from repro.smvp.backends.serial import SerialBackend
+from repro.smvp.backends.shared_memory import SharedMemoryBackend
+from repro.smvp.backends.threaded import ThreadedBackend
+
+#: Name -> backend class.  Register new execution strategies here.
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadedBackend.name: ThreadedBackend,
+    SharedMemoryBackend.name: SharedMemoryBackend,
+}
+
+
+def backend_names():
+    """Sorted registered backend names."""
+    return sorted(BACKENDS)
+
+
+def make_backend(backend, **options) -> ExecutionBackend:
+    """Resolve a backend instance from a name (or pass one through).
+
+    ``options`` (e.g. ``workers=4``) go to the backend constructor when
+    resolving by name.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {backend_names()}"
+        ) from None
+    return cls(**options)
+
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "SharedMemoryBackend",
+    "ThreadedBackend",
+    "backend_names",
+    "make_backend",
+]

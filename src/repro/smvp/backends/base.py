@@ -1,0 +1,46 @@
+"""The execution-backend interface."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.smvp.kernels import Kernel
+
+
+class ExecutionBackend:
+    """Runs the compute phase: per-PE local products, one strategy.
+
+    Lifecycle: ``setup`` once with the kernel and the per-PE local
+    matrices (this is where ``Kernel.prepare`` runs — exactly once per
+    PE, outside any timed region), then ``compute`` per superstep,
+    then ``close``.  ``compute`` must return the per-PE products in PE
+    order, bit-identical to ``[kernel.apply(state_i, x_i)]`` — backends
+    change *where* the products run, never their values.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.kernel: Kernel = None  # type: ignore[assignment]
+        self.num_parts = 0
+
+    def setup(self, kernel: Kernel, matrices: Sequence[sp.spmatrix]) -> None:
+        """Prepare per-PE kernel states (format conversion happens here)."""
+        self.kernel = kernel
+        self.num_parts = len(matrices)
+
+    def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """One compute phase: the per-PE products, in PE order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pools; the backend may not be used afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

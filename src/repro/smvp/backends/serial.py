@@ -1,0 +1,25 @@
+"""The serial backend: the historical in-process loop, bit for bit."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.smvp.backends.base import ExecutionBackend
+from repro.smvp.kernels import Kernel
+
+
+class SerialBackend(ExecutionBackend):
+    """Per-PE products one after another in the calling thread."""
+
+    name = "serial"
+
+    def setup(self, kernel: Kernel, matrices: Sequence[sp.spmatrix]) -> None:
+        super().setup(kernel, matrices)
+        self.states = [kernel.prepare(m) for m in matrices]
+
+    def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        apply = self.kernel.apply
+        return [apply(state, x) for state, x in zip(self.states, x_locals)]

@@ -1,0 +1,208 @@
+"""The pairwise exchange-and-sum, as composable steps.
+
+The paper's communication phase (Section 2.3) is one fixed data flow:
+for every PE pair sharing nodes, each side sends its partial y values
+for the shared nodes and adds what it receives.  This module breaks
+that flow into three explicit steps so the fault protocol composes as
+*middleware* instead of forking the loop:
+
+1. :func:`build_sends` — snapshot the pre-exchange partials into
+   directed send buffers (as real message passing would);
+2. a *transport* delivers each directed block: :class:`CleanTransport`
+   is a lossless wire, :class:`FaultMiddleware` wraps the same
+   delivery in the checksum + retransmit protocol driven by a
+   :class:`~repro.faults.FaultInjector`;
+3. :func:`apply_sends` — sum every delivered payload into the
+   receiver's partial, in deterministic (pair, direction) order.
+
+:func:`run_exchange` composes the three.  With the clean transport the
+resulting bits are identical to the historical in-executor loop — the
+send construction order, payload copies, and summation order are all
+preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.detection import FaultStats, block_checksum, verify_block
+from repro.faults.errors import ExchangeFaultError
+from repro.faults.injector import BlockFault, FaultInjector
+
+
+@dataclass(frozen=True)
+class ExchangeRecord:
+    """Observed traffic for one executed SMVP (sanity-checkable against
+    the static schedule).
+
+    With fault injection active, ``words_sent``/``blocks_sent`` count
+    every transmission that actually happened — retransmits and
+    duplicates included — so they can exceed the static schedule; the
+    ``faults`` tally explains exactly by how much and why.
+    """
+
+    words_sent: np.ndarray  # per PE
+    blocks_sent: np.ndarray  # per PE
+    faults: Optional[FaultStats] = None  # None on the fault-free path
+
+
+@dataclass(frozen=True)
+class BlockSend:
+    """One directed block: PE ``src`` owes PE ``dst`` these partials.
+
+    ``dof_dst`` are the destination-local dof indices the payload sums
+    into; ``payload`` is a snapshot of the sender's partials (its own
+    copy — later mutation of the sender's vector cannot leak in).
+    """
+
+    src: int
+    dst: int
+    dof_dst: np.ndarray
+    payload: np.ndarray
+
+
+#: One shared-node pair: (part_a, part_b, local node indices on a, on b).
+PairTable = Sequence[Tuple[int, int, np.ndarray, np.ndarray]]
+
+
+def build_sends(y_locals: List[np.ndarray], pairs: PairTable) -> List[BlockSend]:
+    """Snapshot the directed send buffers for every sharing pair.
+
+    Order is deterministic and load-bearing: for each pair ``(a, b)``
+    the a→b block precedes the b→a block, and pairs appear in table
+    order — the summation order downstream reproduces the historical
+    executor loop bit for bit.
+    """
+    sends: List[BlockSend] = []
+    for a, b, ia, ib in pairs:
+        dof_a = (3 * ia[:, None] + np.arange(3)).ravel()
+        dof_b = (3 * ib[:, None] + np.arange(3)).ravel()
+        sends.append(BlockSend(a, b, dof_b, y_locals[a][dof_a].copy()))
+        sends.append(BlockSend(b, a, dof_a, y_locals[b][dof_b].copy()))
+    return sends
+
+
+def apply_sends(
+    y_locals: List[np.ndarray], delivered: Sequence[Tuple[BlockSend, np.ndarray]]
+) -> List[np.ndarray]:
+    """Sum every delivered payload into its receiver, in order."""
+    for send, payload in delivered:
+        y_locals[send.dst][send.dof_dst] += payload
+    return y_locals
+
+
+class CleanTransport:
+    """Lossless delivery: every block arrives intact on the first try."""
+
+    def transmit(
+        self,
+        send: BlockSend,
+        step: int,
+        stats: Optional[FaultStats],
+        words_sent: np.ndarray,
+        blocks_sent: np.ndarray,
+    ) -> np.ndarray:
+        words_sent[send.src] += send.payload.size
+        blocks_sent[send.src] += 1
+        return send.payload
+
+    def make_stats(self) -> Optional[FaultStats]:
+        """Per-exchange stats object (clean wire keeps none)."""
+        return None
+
+
+class FaultMiddleware:
+    """Checksum + retransmit protocol around an injected-fault wire.
+
+    Every directed block runs a small reliability protocol: the sender
+    computes a CRC-32 over the payload; the injector may drop the block
+    (detected by the receiver's timeout against the static schedule —
+    it knows what it is owed), flip a bit in flight (detected by the
+    checksum), or deliver it twice (deduplicated by sequence id, i.e.
+    applied once).  Failed deliveries are retransmitted from the
+    sender's still-intact partial, so the summed result is bit-identical
+    to the clean transport whenever recovery succeeds.
+    """
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def make_stats(self) -> FaultStats:
+        return FaultStats()
+
+    def transmit(
+        self,
+        send: BlockSend,
+        step: int,
+        stats: FaultStats,
+        words_sent: np.ndarray,
+        blocks_sent: np.ndarray,
+    ) -> np.ndarray:
+        injector = self.injector
+        src, dst, clean = send.src, send.dst, send.payload
+        checksum = block_checksum(clean)
+        max_attempts = injector.config.max_retries + 1
+        for attempt in range(max_attempts):
+            if attempt > 0:
+                stats.retransmits += 1
+                stats.words_retransmitted += clean.size
+            payload = clean.copy()
+            words_sent[src] += payload.size
+            blocks_sent[src] += 1
+            fault = injector.block_fault(src, dst, step, attempt)
+            if fault is BlockFault.DROP:
+                stats.injected_drops += 1
+                stats.detected_missing += 1  # receiver's timeout fires
+                continue
+            if fault is BlockFault.BITFLIP:
+                stats.injected_corruptions += 1
+                injector.corrupt(payload, src, dst, step, attempt)
+            elif fault is BlockFault.DUPLICATE:
+                stats.injected_duplicates += 1
+                stats.duplicates_ignored += 1
+                # The redundant copy is real traffic, applied zero times.
+                words_sent[src] += payload.size
+                blocks_sent[src] += 1
+            if not verify_block(payload, checksum):
+                stats.detected_corrupt += 1
+                continue
+            return payload
+        raise ExchangeFaultError(
+            f"block {src}->{dst} (superstep {step}) failed "
+            f"{max_attempts} transmission attempts; raise max_retries or "
+            "lower the fault rates"
+        )
+
+
+def make_transport(injector: Optional[FaultInjector]):
+    """The transport an executor should use for its current injector."""
+    if injector is not None and injector.enabled:
+        return FaultMiddleware(injector)
+    return CleanTransport()
+
+
+def run_exchange(
+    y_locals: List[np.ndarray],
+    pairs: PairTable,
+    transport,
+    step: int,
+    num_parts: int,
+) -> Tuple[List[np.ndarray], ExchangeRecord]:
+    """Build buffers, deliver each block through the transport, sum.
+
+    Buffers are snapshotted *before* any summation (as real message
+    passing would), so nodes shared by three or more PEs receive every
+    other owner's pre-exchange partial exactly once.
+    """
+    words_sent = np.zeros(num_parts, dtype=np.int64)
+    blocks_sent = np.zeros(num_parts, dtype=np.int64)
+    stats = transport.make_stats()
+    delivered = [
+        (send, transport.transmit(send, step, stats, words_sent, blocks_sent))
+        for send in build_sends(y_locals, pairs)
+    ]
+    y_locals = apply_sends(y_locals, delivered)
+    return y_locals, ExchangeRecord(words_sent, blocks_sent, faults=stats)

@@ -4,10 +4,25 @@ This is a faithful in-process execution of the paper's parallel SMVP
 (Section 2.3): each PE holds a local stiffness matrix assembled from
 its own elements over its own (replicated-shared) node set, computes a
 local product, and then exchanges-and-sums partial y values with every
-PE it shares nodes with.  Running all PEs sequentially inside one
-process keeps the *data movement* identical to the real thing while
-making the result directly comparable — tests assert the distributed
-product equals the global sparse product to floating-point tolerance.
+PE it shares nodes with.  The result is directly comparable to the
+global product — tests assert the distributed product equals the
+global sparse product to floating-point tolerance.
+
+The executor is the integration point of the superstep engine's four
+layers, each swappable on its own:
+
+* **kernel** (:mod:`repro.smvp.kernels`) — the local storage format;
+  prepared once at setup, applied per product.
+* **backend** (:mod:`repro.smvp.backends`) — where the per-PE products
+  run: ``serial`` (historical semantics, bit-identical), ``threaded``
+  (thread pool; scipy matvec releases the GIL), or ``shared-memory``
+  (process pool).
+* **exchange** (:mod:`repro.smvp.exchange`) — the pairwise
+  exchange-and-sum; the fault protocol from :mod:`repro.faults` is
+  middleware on the transport, not a forked loop.
+* **trace** (:mod:`repro.smvp.trace`) — optional per-superstep
+  instrumentation: attach a ``trace_sink`` and every ``multiply``
+  emits a :class:`~repro.smvp.trace.SuperstepTrace`.
 
 The executor doubles as the ground truth for the performance model:
 its per-PE flop counts and the communication schedule's word/block
@@ -16,8 +31,7 @@ counts are exactly the F, C_i, and B_i the model consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -26,32 +40,20 @@ from repro.analysis.contracts import (
     check_csr_contract,
     check_schedule_contract,
 )
-from repro.faults.detection import FaultStats, block_checksum, verify_block
-from repro.faults.errors import ExchangeFaultError
-from repro.faults.injector import BlockFault, FaultInjector
+from repro.faults.injector import FaultInjector
 from repro.fem.assembly import assemble_subdomain_stiffness
 from repro.fem.material import ElementMaterials
 from repro.mesh.core import TetMesh
 from repro.partition.base import Partition
+from repro.smvp.backends import make_backend
 from repro.smvp.distribution import DataDistribution
-from repro.smvp.kernels import KERNELS
+from repro.smvp.exchange import ExchangeRecord, make_transport, run_exchange
+from repro.smvp.kernels import get_kernel
 from repro.smvp.schedule import CommSchedule
+from repro.smvp.trace import SuperstepTrace, TraceSink
+from repro.util.clock import now
 
-
-@dataclass(frozen=True)
-class ExchangeRecord:
-    """Observed traffic for one executed SMVP (sanity-checkable against
-    the static schedule).
-
-    With fault injection active, ``words_sent``/``blocks_sent`` count
-    every transmission that actually happened — retransmits and
-    duplicates included — so they can exceed the static schedule; the
-    ``faults`` tally explains exactly by how much and why.
-    """
-
-    words_sent: np.ndarray  # per PE
-    blocks_sent: np.ndarray  # per PE
-    faults: Optional[FaultStats] = None  # None on the fault-free path
+__all__ = ["DistributedSMVP", "ExchangeRecord"]
 
 
 class DistributedSMVP:
@@ -62,16 +64,29 @@ class DistributedSMVP:
     mesh, partition, materials:
         The global problem.
     kernel:
-        Local kernel name from :data:`repro.smvp.kernels.KERNELS`.
+        Local kernel name from the registry in
+        :mod:`repro.smvp.kernels` (``get_kernel``).
     injector:
         Optional :class:`~repro.faults.FaultInjector`.  When enabled,
-        the exchange phase runs a checksummed, retransmitting protocol:
-        injected drops/corruptions are detected (timeout / CRC mismatch)
-        and recovered by resending from the sender's partial, duplicates
-        are delivered once, and the per-exchange :class:`FaultStats` are
-        attached to the :class:`ExchangeRecord`.  With no injector (or a
-        disabled one) the exchange takes the original fault-free path,
-        bit for bit.
+        the exchange phase runs through the checksummed, retransmitting
+        :class:`~repro.smvp.exchange.FaultMiddleware`: injected
+        drops/corruptions are detected (timeout / CRC mismatch) and
+        recovered by resending from the sender's partial, duplicates
+        are delivered once, and the per-exchange ``FaultStats`` are
+        attached to the :class:`ExchangeRecord`.  With no injector (or
+        a disabled one) the exchange takes the clean transport, bit for
+        bit the original fault-free path.
+    backend:
+        Execution-backend name (``serial`` / ``threaded`` /
+        ``shared-memory``) or an
+        :class:`~repro.smvp.backends.ExecutionBackend` instance.  The
+        backend decides where the compute phase's per-PE products run;
+        results are bit-identical across backends.
+    trace_sink:
+        Optional callable receiving a
+        :class:`~repro.smvp.trace.SuperstepTrace` after every
+        ``multiply`` (per-phase wall times, per-PE traffic, fault
+        stats).  ``None`` (default) keeps the hot path clock-free.
     """
 
     def __init__(
@@ -81,18 +96,19 @@ class DistributedSMVP:
         materials: ElementMaterials,
         kernel: str = "csr",
         injector: Optional[FaultInjector] = None,
+        backend: str = "serial",
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
-        if kernel not in KERNELS:
-            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        self.kernel_name = self.kernel.name
         self.injector = injector
+        self.trace_sink = trace_sink
         self._superstep = 0  # exchange counter; keys the fault streams
         self.mesh = mesh
         self.partition = partition
         self.distribution = DataDistribution(mesh, partition)
         self.schedule = CommSchedule(self.distribution)
-        self.kernel_name = kernel
-        self._kernel = KERNELS[kernel]
-        fmt = "bsr" if kernel == "bsr3x3" else "csr"
+        fmt = self.kernel.preferred_format
 
         self.local_nodes: List[np.ndarray] = []
         self.local_matrices: List[sp.spmatrix] = []
@@ -110,6 +126,10 @@ class DistributedSMVP:
             self.local_matrices.append(local_k)
         check_schedule_contract(self.schedule, self.distribution)
 
+        self.backend = make_backend(backend)
+        self.backend_name = self.backend.name
+        self.backend.setup(self.kernel, self.local_matrices)
+
         # Per unordered pair: (part_a, part_b, local indices on a, on b).
         self._pairs: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
         for (a, b), shared in self.distribution.pair_shared_nodes.items():
@@ -125,9 +145,34 @@ class DistributedSMVP:
             )
         self._owner = csr.indices[csr.indptr[:-1]].astype(np.int64)
 
+        # Per-PE owned-dof index arrays: gather writes straight through
+        # these (no dense scratch allocation, no per-call masking).
+        # Ownership partitions the nodes, so the destinations cover
+        # every global dof exactly once.
+        dof3 = np.arange(3)
+        self._gather_src: List[np.ndarray] = []
+        self._gather_dst: List[np.ndarray] = []
+        for part in range(partition.num_parts):
+            nodes = self.local_nodes[part]
+            mine = np.flatnonzero(self._owner[nodes] == part)
+            self._gather_src.append((3 * mine[:, None] + dof3).ravel())
+            self._gather_dst.append(
+                (3 * nodes[mine][:, None] + dof3).ravel()
+            )
+
     @property
     def num_parts(self) -> int:
         return self.partition.num_parts
+
+    def close(self) -> None:
+        """Release backend resources (thread/process pools)."""
+        self.backend.close()
+
+    def __enter__(self) -> "DistributedSMVP":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def reset_superstep(self, step: int = 0) -> None:
         """Rewind the exchange counter (reproducible fault histories)."""
@@ -149,9 +194,7 @@ class DistributedSMVP:
 
     def compute_phase(self, x_locals: List[np.ndarray]) -> List[np.ndarray]:
         """Local SMVPs on every PE (the computation phase)."""
-        return [
-            self._kernel(k, x) for k, x in zip(self.local_matrices, x_locals)
-        ]
+        return self.backend.compute(x_locals)
 
     def communication_phase(
         self, y_locals: List[np.ndarray], step: Optional[int] = None
@@ -161,7 +204,9 @@ class DistributedSMVP:
         Send buffers are built from the pre-exchange partials (as real
         message passing would), then all contributions are summed —
         nodes shared by three or more PEs receive every other owner's
-        partial exactly once.
+        partial exactly once.  The fault protocol, when an injector is
+        enabled, rides along as transport middleware (see
+        :mod:`repro.smvp.exchange`).
 
         ``step`` keys the fault injector's per-superstep streams; it
         defaults to an internal counter so repeated SMVPs (time
@@ -170,128 +215,58 @@ class DistributedSMVP:
         if step is None:
             step = self._superstep
         self._superstep = step + 1
-        if self.injector is not None and self.injector.enabled:
-            return self._communication_phase_faulty(y_locals, step)
-        p = self.num_parts
-        words_sent = np.zeros(p, dtype=np.int64)
-        blocks_sent = np.zeros(p, dtype=np.int64)
-        sends: List[Tuple[int, np.ndarray, np.ndarray]] = []
-        for a, b, ia, ib in self._pairs:
-            dof_a = (3 * ia[:, None] + np.arange(3)).ravel()
-            dof_b = (3 * ib[:, None] + np.arange(3)).ravel()
-            buf_ab = y_locals[a][dof_a].copy()  # a -> b
-            buf_ba = y_locals[b][dof_b].copy()  # b -> a
-            sends.append((b, dof_b, buf_ab))
-            sends.append((a, dof_a, buf_ba))
-            words_sent[a] += len(buf_ab)
-            words_sent[b] += len(buf_ba)
-            blocks_sent[a] += 1
-            blocks_sent[b] += 1
-        for dst, dof, buf in sends:
-            y_locals[dst][dof] += buf
-        return y_locals, ExchangeRecord(words_sent, blocks_sent)
-
-    def _communication_phase_faulty(
-        self, y_locals: List[np.ndarray], step: int
-    ) -> Tuple[List[np.ndarray], ExchangeRecord]:
-        """The exchange under fault injection: checksum + retransmit.
-
-        Same data flow as the clean phase, but every directed block runs
-        a small reliability protocol: the sender computes a CRC-32 over
-        the payload; the injector may drop the block (detected by the
-        receiver's timeout against the static schedule — it knows what
-        it is owed), flip a bit in flight (detected by the checksum), or
-        deliver it twice (deduplicated by sequence id, i.e. applied
-        once).  Failed deliveries are retransmitted from the sender's
-        still-intact partial, so the summed result is bit-identical to
-        the fault-free exchange whenever recovery succeeds.
-        """
-        p = self.num_parts
-        words_sent = np.zeros(p, dtype=np.int64)
-        blocks_sent = np.zeros(p, dtype=np.int64)
-        stats = FaultStats()
-        sends: List[Tuple[int, np.ndarray, np.ndarray]] = []
-        for a, b, ia, ib in self._pairs:
-            dof_a = (3 * ia[:, None] + np.arange(3)).ravel()
-            dof_b = (3 * ib[:, None] + np.arange(3)).ravel()
-            buf_ab = y_locals[a][dof_a].copy()  # a -> b
-            buf_ba = y_locals[b][dof_b].copy()  # b -> a
-            for src, dst, dof_dst, clean in (
-                (a, b, dof_b, buf_ab),
-                (b, a, dof_a, buf_ba),
-            ):
-                payload = self._transmit(
-                    src, dst, clean, step, stats, words_sent, blocks_sent
-                )
-                sends.append((dst, dof_dst, payload))
-        for dst, dof, buf in sends:
-            y_locals[dst][dof] += buf
-        return y_locals, ExchangeRecord(words_sent, blocks_sent, faults=stats)
-
-    def _transmit(
-        self,
-        src: int,
-        dst: int,
-        clean: np.ndarray,
-        step: int,
-        stats: FaultStats,
-        words_sent: np.ndarray,
-        blocks_sent: np.ndarray,
-    ) -> np.ndarray:
-        """Deliver one directed block through the injector, with retries.
-
-        Returns the payload as received (always equal to ``clean`` on
-        success — corrupted attempts never survive the checksum).
-        """
-        injector = self.injector
-        checksum = block_checksum(clean)
-        max_attempts = injector.config.max_retries + 1
-        for attempt in range(max_attempts):
-            if attempt > 0:
-                stats.retransmits += 1
-                stats.words_retransmitted += clean.size
-            payload = clean.copy()
-            words_sent[src] += payload.size
-            blocks_sent[src] += 1
-            fault = injector.block_fault(src, dst, step, attempt)
-            if fault is BlockFault.DROP:
-                stats.injected_drops += 1
-                stats.detected_missing += 1  # receiver's timeout fires
-                continue
-            if fault is BlockFault.BITFLIP:
-                stats.injected_corruptions += 1
-                injector.corrupt(payload, src, dst, step, attempt)
-            elif fault is BlockFault.DUPLICATE:
-                stats.injected_duplicates += 1
-                stats.duplicates_ignored += 1
-                # The redundant copy is real traffic, applied zero times.
-                words_sent[src] += payload.size
-                blocks_sent[src] += 1
-            if not verify_block(payload, checksum):
-                stats.detected_corrupt += 1
-                continue
-            return payload
-        raise ExchangeFaultError(
-            f"block {src}->{dst} (superstep {step}) failed "
-            f"{max_attempts} transmission attempts; raise max_retries or "
-            "lower the fault rates"
+        transport = make_transport(self.injector)
+        return run_exchange(
+            y_locals, self._pairs, transport, step, self.num_parts
         )
 
     def gather(self, y_locals: List[np.ndarray]) -> np.ndarray:
         """Collect the (now globally summed) y into one global vector."""
-        out = np.zeros((self.mesh.num_nodes, 3))
+        out = np.empty(3 * self.mesh.num_nodes, dtype=np.float64)
         for part in range(self.num_parts):
-            nodes = self.local_nodes[part]
-            mine = self._owner[nodes] == part
-            out[nodes[mine]] = y_locals[part].reshape(-1, 3)[mine]
-        return out.ravel()
+            out[self._gather_dst[part]] = y_locals[part][self._gather_src[part]]
+        return out
 
     def multiply(self, x_global: np.ndarray) -> np.ndarray:
-        """The full distributed SMVP: scatter, compute, exchange, gather."""
+        """The full distributed SMVP: scatter, compute, exchange, gather.
+
+        With a ``trace_sink`` attached, emits one
+        :class:`~repro.smvp.trace.SuperstepTrace` per call; without
+        one, the path reads no clock at all.
+        """
+        sink = self.trace_sink
+        if sink is None:
+            x_locals = self.scatter(x_global)
+            y_locals = self.compute_phase(x_locals)
+            y_locals, _record = self.communication_phase(y_locals)
+            return self.gather(y_locals)
+
+        step = self._superstep
+        t0 = now()
         x_locals = self.scatter(x_global)
+        t1 = now()
         y_locals = self.compute_phase(x_locals)
-        y_locals, _record = self.communication_phase(y_locals)
-        return self.gather(y_locals)
+        t2 = now()
+        y_locals, record = self.communication_phase(y_locals)
+        t3 = now()
+        y_global = self.gather(y_locals)
+        t4 = now()
+        sink(
+            SuperstepTrace(
+                t_comp=t2 - t1,
+                t_comm=t3 - t2,
+                t_smvp=t4 - t0,
+                step=step,
+                kernel=self.kernel_name,
+                backend=self.backend_name,
+                t_scatter=t1 - t0,
+                t_gather=t4 - t3,
+                words_sent=record.words_sent,
+                blocks_sent=record.blocks_sent,
+                faults=record.faults,
+            )
+        )
+        return y_global
 
     __call__ = multiply
 

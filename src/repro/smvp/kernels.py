@@ -8,87 +8,234 @@ plus :func:`measure_tf`, which measures ``T_f`` for any of them on the
 host, exactly the way the paper's Section 3.1 defines it:
 ``T_f = elapsed / F`` with ``F = 2 * nnz`` (one multiply and one add
 per stored nonzero).
+
+Kernels follow a two-phase protocol (:class:`Kernel`): ``prepare``
+converts/caches the matrix into the kernel's native storage once, and
+``apply`` runs the product against the prepared state.  Timed regions
+(``measure_tf``, the execution backends) call ``prepare`` exactly once
+at setup, so what gets timed is the product — never a format
+conversion.  The bare-function entry points (``csr_kernel`` & co.) and
+the :data:`KERNELS` dict remain as adapters over the class kernels for
+callers that want the old one-shot ``(matrix, x) -> y`` convention.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.util.clock import now
 
-#: Signature of a local SMVP kernel: (matrix, x) -> y.
+#: Signature of a one-shot local SMVP kernel: (matrix, x) -> y.
 LocalKernel = Callable[[sp.spmatrix, np.ndarray], np.ndarray]
 
 
-def csr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+class Kernel:
+    """A local SMVP kernel: one storage format, two phases.
+
+    ``prepare(matrix) -> state`` converts the matrix into the kernel's
+    native storage (returning any opaque state object); ``apply(state,
+    x) -> y`` runs the product.  ``apply`` must not convert formats,
+    allocate per-call caches on the matrix, or otherwise do setup work
+    — everything format-related happens in ``prepare`` so timed loops
+    measure only the flops.
+
+    ``preferred_format`` names the assembly format ("csr" or "bsr")
+    that makes ``prepare`` a no-op for matrices assembled natively.
+    """
+
+    name: str = "abstract"
+    preferred_format: str = "csr"
+
+    def prepare(self, matrix: sp.spmatrix) -> Any:
+        raise NotImplementedError
+
+    def apply(self, state: Any, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+        """One-shot convenience: prepare + apply (not for timed loops)."""
+        return self.apply(self.prepare(matrix), x)
+
+
+class CsrKernel(Kernel):
     """Compressed sparse row product (scipy's native matvec)."""
-    if not sp.isspmatrix_csr(matrix):
-        matrix = matrix.tocsr()
-    return matrix @ x
+
+    name = "csr"
+    preferred_format = "csr"
+
+    def prepare(self, matrix: sp.spmatrix) -> sp.csr_matrix:
+        return matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
+
+    def apply(self, state: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
+        return state @ x
 
 
-def bsr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+class Bsr3x3Kernel(Kernel):
     """Block sparse row product with 3x3 blocks.
 
     This mirrors the natural storage for the Quake stiffness matrix (a
     3x3 submatrix per node pair); block storage improves locality the
     same way it did on the machines the paper measured.
     """
-    if not sp.isspmatrix_bsr(matrix) or matrix.blocksize != (3, 3):
-        matrix = sp.bsr_matrix(matrix, blocksize=(3, 3))
-    return matrix @ x
+
+    name = "bsr3x3"
+    preferred_format = "bsr"
+
+    def prepare(self, matrix: sp.spmatrix) -> sp.bsr_matrix:
+        if sp.isspmatrix_bsr(matrix) and matrix.blocksize == (3, 3):
+            return matrix
+        return sp.bsr_matrix(matrix, blocksize=(3, 3))
+
+    def apply(self, state: sp.bsr_matrix, x: np.ndarray) -> np.ndarray:
+        return state @ x
 
 
-def python_csr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+class PythonCsrKernel(Kernel):
     """Pure-Python CSR product (reference / worst-case interpreter T_f).
 
     Orders of magnitude slower than the scipy kernels; useful as a
     ground-truth oracle in tests and to demonstrate how far T_f can
     stretch on the same hardware.
     """
-    if not sp.isspmatrix_csr(matrix):
-        matrix = matrix.tocsr()
-    indptr = matrix.indptr
-    indices = matrix.indices
-    data = matrix.data
-    y = np.zeros(matrix.shape[0], dtype=np.float64)
-    for row in range(matrix.shape[0]):
-        acc = 0.0
-        for k in range(indptr[row], indptr[row + 1]):
-            acc += data[k] * x[indices[k]]
-        y[row] = acc
-    return y
+
+    name = "python-csr"
+    preferred_format = "csr"
+
+    def prepare(self, matrix: sp.spmatrix) -> sp.csr_matrix:
+        return matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
+
+    def apply(self, state: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
+        indptr = state.indptr
+        indices = state.indices
+        data = state.data
+        y = np.zeros(state.shape[0], dtype=np.float64)
+        for row in range(state.shape[0]):
+            acc = 0.0
+            for k in range(indptr[row], indptr[row + 1]):
+                acc += data[k] * x[indices[k]]
+            y[row] = acc
+        return y
 
 
-def symmetric_upper_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+class SymmetricUpperKernel(Kernel):
     """Product using only the upper triangle of a symmetric matrix.
 
     Stiffness matrices are symmetric; storing one triangle halves the
-    memory but performs the same 2 * nnz(full) flops.  ``matrix`` is
-    the full symmetric matrix — the kernel extracts (and caches, so
-    repeated timed calls measure the product, not the conversion) the
-    triangular factors itself, keeping one calling convention across
-    kernels.
+    memory but performs the same 2 * nnz(full) flops.  ``prepare``
+    extracts the triangular factors fresh every time it runs — state
+    never outlives a matrix mutation, unlike the old on-matrix
+    attribute cache.
     """
-    parts = getattr(matrix, "_repro_symmetric_parts", None)
-    if parts is None:
+
+    name = "symmetric-upper"
+    preferred_format = "csr"
+
+    def prepare(self, matrix: sp.spmatrix):
         csr = matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
         upper = sp.triu(csr, k=0).tocsr()
         strict_lower = sp.triu(csr, k=1).T.tocsr()
-        parts = (upper, strict_lower)
+        return (upper, strict_lower)
+
+    def apply(self, state, x: np.ndarray) -> np.ndarray:
+        upper, strict_lower = state
+        return upper @ x + strict_lower @ x
+
+
+#: Named kernel registry.  Register new storage formats here (or via
+#: :func:`register_kernel`); every consumer — the executor, the
+#: Spark98 suite, ``measure_tf``, the CLI — resolves names through
+#: :func:`get_kernel`, never by poking at a dict.
+KERNEL_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel) -> Kernel:
+    """Add a kernel instance to the registry (name collisions rejected)."""
+    if kernel.name in KERNEL_REGISTRY:
+        raise ValueError(f"duplicate kernel name {kernel.name!r}")
+    KERNEL_REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    """Resolve a kernel by registry name."""
+    try:
+        return KERNEL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; options: {kernel_names()}"
+        ) from None
+
+
+def kernel_names():
+    """Sorted registered kernel names."""
+    return sorted(KERNEL_REGISTRY)
+
+
+for _kernel in (
+    CsrKernel(),
+    Bsr3x3Kernel(),
+    PythonCsrKernel(),
+    SymmetricUpperKernel(),
+):
+    register_kernel(_kernel)
+del _kernel
+
+
+# -- legacy one-shot adapters -------------------------------------------------
+
+
+def csr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    """Compressed sparse row product (one-shot adapter)."""
+    return KERNEL_REGISTRY["csr"](matrix, x)
+
+
+def bsr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    """Block sparse row product with 3x3 blocks (one-shot adapter)."""
+    return KERNEL_REGISTRY["bsr3x3"](matrix, x)
+
+
+def python_csr_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    """Pure-Python CSR product (one-shot adapter)."""
+    return KERNEL_REGISTRY["python-csr"](matrix, x)
+
+
+def symmetric_upper_kernel(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    """Symmetric upper-triangle product (one-shot adapter with caching).
+
+    Repeated calls on the *same, unmutated* matrix reuse the extracted
+    triangular factors.  The cache is keyed on the identity of the
+    matrix's data buffer plus a strided value probe, so both rebinding
+    ``matrix.data`` and mutating it in place invalidate the cache — the
+    stale-parts hazard of the old unconditional attribute cache.
+    """
+    kernel = KERNEL_REGISTRY["symmetric-upper"]
+    cached = getattr(matrix, "_repro_symmetric_cache", None)
+    data = getattr(matrix, "data", None)
+    if data is not None and isinstance(data, np.ndarray):
+        stride = max(1, data.shape[0] // 32)
+        probe = data[::stride].copy()
+        key = (id(data), matrix.nnz)
+        if (
+            cached is not None
+            and cached[0] == key
+            and np.array_equal(cached[1], probe)
+        ):
+            return kernel.apply(cached[2], x)
+        state = kernel.prepare(matrix)
         try:
-            matrix._repro_symmetric_parts = parts
+            matrix._repro_symmetric_cache = (key, probe, state)
         except AttributeError:  # some sparse types forbid attributes
             pass
-    upper, strict_lower = parts
-    return upper @ x + strict_lower @ x
+        return kernel.apply(state, x)
+    return kernel(matrix, x)
 
 
-#: Named kernel registry (measurement benches iterate over this).
+#: Named one-shot kernel registry (kept for backward compatibility;
+#: prefer :func:`get_kernel` and the prepare/apply protocol).
 KERNELS: Dict[str, LocalKernel] = {
     "csr": csr_kernel,
     "bsr3x3": bsr_kernel,
@@ -125,20 +272,21 @@ def measure_tf(
 
     The matrix should be a realistic local stiffness matrix (use
     :func:`repro.fem.assemble_stiffness`); ``F = 2 * nnz`` per product,
-    following the paper's flop accounting.
+    following the paper's flop accounting.  ``prepare`` runs once,
+    outside the timed region — the measurement covers the product only,
+    for every kernel.
     """
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown kernel {kernel!r}; options: {sorted(KERNELS)}")
-    fn = KERNELS[kernel]
+    k = get_kernel(kernel)
+    state = k.prepare(matrix)
     rng = np.random.default_rng(rng_seed)
     x = rng.standard_normal(matrix.shape[1])
     nnz = matrix.nnz
     flops = 2 * nnz
     for _ in range(warmup):
-        fn(matrix, x)
+        k.apply(state, x)
     t0 = now()
     for _ in range(repetitions):
-        fn(matrix, x)
+        k.apply(state, x)
     elapsed = now() - t0
     per_product = elapsed / repetitions
     tf_ns = 1e9 * per_product / flops if flops else float("nan")

@@ -15,7 +15,7 @@ from repro import paperdata
 from repro.fem.assembly import assemble_stiffness
 from repro.fem.material import materials_from_model
 from repro.mesh.instances import get_instance
-from repro.smvp.kernels import KERNELS, TfMeasurement, measure_tf
+from repro.smvp.kernels import TfMeasurement, measure_tf
 from repro.tables.render import Table
 
 #: Kernels measured by default; the pure-Python kernel runs on a tiny

@@ -1,0 +1,28 @@
+"""Fixture: direct kernel-dict pokes the ``kernel-registry`` rule flags.
+
+Callers must resolve kernels through ``get_kernel(name)`` — dict
+subscripts skip validation and pin callers to the one-shot calling
+convention.
+"""
+
+from repro.smvp import kernels
+from repro.smvp.kernels import KERNEL_REGISTRY, KERNELS
+
+
+def one_shot_product(matrix, x):
+    fn = KERNELS["csr"]
+    return fn(matrix, x)
+
+
+def registry_poke(matrix, x):
+    kernel = KERNEL_REGISTRY["bsr3x3"]
+    return kernel(matrix, x)
+
+
+def attribute_poke(matrix, x):
+    return kernels.KERNELS["python-csr"](matrix, x)
+
+
+def sanctioned_lookup(name):
+    """The registry API is the clean path — no finding here."""
+    return kernels.get_kernel(name)

@@ -66,6 +66,18 @@ class TestFixtureDetection:
         assert len(model) == 2
         assert all("clock-free" in f.message for f in model)
 
+    def test_kernel_dict_pokes_flagged(self, fixture_findings):
+        pokes = [f for f in fixture_findings if "kernel_dict_poke" in f.path]
+        assert {f.rule for f in pokes} == {"kernel-registry"}
+        assert sorted(f.line for f in pokes) == [13, 18, 23]
+        messages = " ".join(f.message for f in pokes)
+        assert "get_kernel" in messages
+        assert "KERNELS" in messages and "KERNEL_REGISTRY" in messages
+
+    def test_kernel_module_itself_exempt(self):
+        kernels_py = SRC / "repro" / "smvp" / "kernels.py"
+        assert lint_paths([str(kernels_py)], rules=["kernel-registry"]) == []
+
     def test_bad_schedule_rejected(self, fixture_findings):
         bad = [f for f in fixture_findings if "bad_schedule" in f.path]
         assert bad and {f.rule for f in bad} == {"schedule-invariant"}
@@ -94,6 +106,7 @@ class TestEngine:
             "unordered-iteration",
             "unit-mismatch",
             "schedule-invariant",
+            "kernel-registry",
         }
         assert expected <= set(ALL_RULES)
 

@@ -6,6 +6,7 @@ import scipy.sparse as sp
 
 from repro.fem.assembly import assemble_stiffness
 from repro.partition.base import partition_mesh
+from repro.smvp.backends import backend_names
 from repro.smvp.executor import DistributedSMVP
 from repro.smvp.kernels import KERNELS, measure_tf
 from repro.smvp.spark98 import SUITE, run_kernel, run_suite
@@ -69,16 +70,19 @@ class TestDistributedSMVP:
         )
         assert ds.verify_against_global(demo_stiffness) < 1e-12
 
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
     @pytest.mark.parametrize("kernel", sorted(KERNELS))
     def test_every_kernel_multiply_agrees(
-        self, demo_mesh, demo_materials, demo_stiffness, kernel
+        self, demo_mesh, demo_materials, demo_stiffness, kernel, backend
     ):
         partition = partition_mesh(demo_mesh, 6, seed=2)
-        ds = DistributedSMVP(
-            demo_mesh, partition, demo_materials, kernel=kernel
-        )
-        x = np.random.default_rng(7).standard_normal(3 * demo_mesh.num_nodes)
-        assert np.allclose(ds.multiply(x), demo_stiffness @ x, rtol=1e-10)
+        with DistributedSMVP(
+            demo_mesh, partition, demo_materials, kernel=kernel, backend=backend
+        ) as ds:
+            x = np.random.default_rng(7).standard_normal(
+                3 * demo_mesh.num_nodes
+            )
+            assert np.allclose(ds.multiply(x), demo_stiffness @ x, rtol=1e-10)
 
     def test_unknown_kernel(self, demo_mesh, demo_materials):
         partition = partition_mesh(demo_mesh, 4)
