@@ -1,0 +1,119 @@
+"""Per-backend telemetry snapshot: traffic counters next to T_f.
+
+Runs the 8-PE sf10e superstep under an installed registry once per
+execution backend (clean) plus one fault-injected serial run, and
+archives the registry's view — words/blocks per PE, retransmit counts,
+T_f — under ``benchmarks/output/BENCH_telemetry.json``.  The counters
+must agree exactly with the executor's own trace records, and the
+clean-path traffic must be identical across backends.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.fem.material import materials_from_model
+from repro.mesh.instances import get_instance
+from repro.partition.base import partition_mesh
+from repro.smvp.backends import backend_names
+from repro.smvp.executor import DistributedSMVP
+from repro.smvp.trace import TraceLog
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.util.clock import now
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+INSTANCE = "sf10e"
+PES = 8
+STEPS = 3
+
+
+def _run(mesh, materials, partition, x, backend, injector=None):
+    registry = MetricsRegistry()
+    log = TraceLog()
+    with use_registry(registry):
+        with DistributedSMVP(
+            mesh,
+            partition,
+            materials,
+            backend=backend,
+            injector=injector,
+            trace_sink=log,
+        ) as smvp:
+            flops = int(smvp.flops_per_pe().sum())
+            t0 = now()
+            for _ in range(STEPS):
+                smvp.multiply(x)
+            elapsed = (now() - t0) / STEPS
+
+    words = registry.counter("repro_exchange_words_total")
+    blocks = registry.counter("repro_exchange_blocks_total")
+    faults = registry.counter("repro_fault_events_total")
+    record = {
+        "flops_per_smvp": flops,
+        "t_smvp_s": elapsed,
+        "tf_ns": 1e9 * elapsed / flops,
+        "words_per_pe": {
+            str(pe): int(words.value(pe=pe)) for pe in range(PES)
+        },
+        "blocks_per_pe": {
+            str(pe): int(blocks.value(pe=pe)) for pe in range(PES)
+        },
+        "words_total": int(words.total),
+        "blocks_total": int(blocks.total),
+        "retransmits": int(
+            faults.value(kind="retransmits", component="exchange")
+        ),
+        "words_retransmitted": int(
+            faults.value(kind="words_retransmitted", component="exchange")
+        ),
+    }
+    # The registry's totals must match the executor's own traces.
+    assert record["words_total"] == sum(t.total_words for t in log.traces)
+    assert record["blocks_total"] == sum(t.total_blocks for t in log.traces)
+    return record
+
+
+def test_telemetry_snapshot_per_backend():
+    inst = get_instance(INSTANCE)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    partition = partition_mesh(mesh, PES, seed=0)
+    x = np.random.default_rng(0).standard_normal(3 * mesh.num_nodes)
+
+    results = {}
+    for backend in sorted(backend_names()):
+        results[backend] = _run(mesh, materials, partition, x, backend)
+
+    injector = FaultInjector(
+        FaultConfig(seed=11, drop_rate=0.05, bitflip_rate=0.05)
+    )
+    faulty = _run(
+        mesh, materials, partition, x, "serial", injector=injector
+    )
+
+    payload = {
+        "instance": INSTANCE,
+        "pes": PES,
+        "steps": STEPS,
+        "backends": results,
+        "faulty_serial": faulty,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_telemetry.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Clean-path traffic is a pure function of the schedule: identical
+    # across backends, zero retransmits.
+    serial = results["serial"]
+    for backend, record in results.items():
+        assert record["words_per_pe"] == serial["words_per_pe"], backend
+        assert record["blocks_per_pe"] == serial["blocks_per_pe"], backend
+        assert record["retransmits"] == 0
+    # The faulty run must actually have exercised the recovery path.
+    assert faulty["retransmits"] > 0
+    assert faulty["words_total"] > serial["words_total"]
+    assert faulty["words_retransmitted"] > 0

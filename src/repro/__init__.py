@@ -16,6 +16,8 @@ The package builds the paper's whole stack from scratch:
 * the performance models of Equations (1)-(2) and the Section 4
   requirement analyses (:mod:`repro.model`),
 * a BSP machine simulator validating the model (:mod:`repro.simulate`),
+* end-to-end telemetry — metrics registry, Perfetto timelines, and
+  model-vs-measured drift monitoring (:mod:`repro.telemetry`),
 * and regeneration of every table and figure (:mod:`repro.tables`).
 
 Quick start::
@@ -61,6 +63,17 @@ from repro.model import (
     half_bandwidth_targets,
 )
 from repro.simulate import BspSimulator, validate_model
+from repro.telemetry import (
+    DriftMonitor,
+    DriftReport,
+    MetricsRegistry,
+    get_registry,
+    render_chrome_trace,
+    render_prometheus,
+    set_registry,
+    use_registry,
+    write_metrics,
+)
 from repro.velocity import BasinModel, default_san_fernando_like_model
 
 __version__ = "1.0.0"
@@ -97,6 +110,15 @@ __all__ = [
     "half_bandwidth_targets",
     "BspSimulator",
     "validate_model",
+    "DriftMonitor",
+    "DriftReport",
+    "MetricsRegistry",
+    "get_registry",
+    "render_chrome_trace",
+    "render_prometheus",
+    "set_registry",
+    "use_registry",
+    "write_metrics",
     "BasinModel",
     "default_san_fernando_like_model",
     "__version__",

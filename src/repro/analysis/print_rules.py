@@ -1,0 +1,59 @@
+"""Output-hygiene lint rules.
+
+``no-print``
+    Bare ``print(...)`` calls in library code.  Library modules must
+    report through return values, logging sinks, or the telemetry
+    registry (:mod:`repro.telemetry.registry`) so that benchmark and
+    pipeline output stays machine-parseable and byte-stable; stray
+    prints interleave with rendered tables and corrupt golden output.
+    Presentation layers are exempt: CLI entry-point modules
+    (``cli.py``), the table generators (anything under ``tables/``),
+    and dedicated renderers (modules named ``render*.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.core import Finding, Rule, register
+
+
+def _exempt(path: str) -> bool:
+    """True for presentation-layer modules allowed to print."""
+    norm = os.path.normpath(path)
+    base = os.path.basename(norm)
+    if base == "cli.py" or base.startswith("render"):
+        return True
+    parts = norm.split(os.sep)
+    return "tables" in parts[:-1]
+
+
+@register
+class NoPrintRule(Rule):
+    name = "no-print"
+    description = (
+        "bare print() in library code; return data or use the "
+        "telemetry registry (CLI / tables / render* modules exempt)"
+    )
+
+    def check_python(self, path, source, tree):
+        if _exempt(path):
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Finding(
+                    rule=self.name,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "print() in library code; return the value, "
+                        "record it on the telemetry registry, or move "
+                        "the formatting into a CLI/render module"
+                    ),
+                )

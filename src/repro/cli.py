@@ -26,13 +26,89 @@
     Determinism / units / BSP-invariant static analysis over the
     source tree (and golden ``*schedule*.json`` files).  Exits 1 on
     findings; gates CI.
+
+``repro-metrics``
+    The observability surface: run an instrumented workload and dump
+    the metrics registry (``snapshot``), export a Chrome-trace/Perfetto
+    timeline (``timeline``), or compare measured phase times against
+    the Eq. (1)/(2) model (``drift``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
+
+
+def _run_traced_workload(
+    instance: str,
+    pes: int,
+    steps: int,
+    kernel: str,
+    backend: str,
+    fault_rate: float,
+    seed: int,
+):
+    """Run a short traced time-stepped simulation.
+
+    The shared workload behind ``repro-trace`` and ``repro-metrics``:
+    build the instance, assemble, time-step through the distributed
+    executor with a :class:`~repro.smvp.trace.TraceLog` attached.
+    Returns ``(log, flops_per_pe, schedule)``.
+    """
+    import numpy as np
+
+    from repro.faults import FaultConfig, FaultInjector
+    from repro.fem import (
+        ExplicitTimeStepper,
+        assemble_lumped_mass,
+        assemble_stiffness,
+        materials_from_model,
+        stable_timestep,
+    )
+    from repro.mesh.instances import get_instance
+    from repro.partition.base import partition_mesh
+    from repro.smvp.executor import DistributedSMVP
+    from repro.smvp.trace import TraceLog
+
+    inst = get_instance(instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    stiffness = assemble_stiffness(mesh, materials)
+    mass = assemble_lumped_mass(mesh, materials)
+    dt = stable_timestep(mesh, materials)
+    partition = partition_mesh(mesh, pes)
+    injector = None
+    if fault_rate > 0:
+        injector = FaultInjector(
+            FaultConfig(
+                seed=seed,
+                drop_rate=fault_rate,
+                bitflip_rate=fault_rate,
+                duplicate_rate=fault_rate,
+            )
+        )
+    smvp = DistributedSMVP(
+        mesh,
+        partition,
+        materials,
+        kernel=kernel,
+        backend=backend,
+        injector=injector,
+    )
+    log = TraceLog()
+    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
+    force = np.zeros(3 * mesh.num_nodes)
+    force[: min(300, force.size)] = 1e9
+    try:
+        stepper.run(steps, force_at=lambda t: force, trace_sink=log)
+        flops = smvp.flops_per_pe()
+        schedule = smvp.schedule
+    finally:
+        smvp.close()
+    return log, flops, schedule
 
 
 def main_tables(argv: Optional[List[str]] = None) -> int:
@@ -94,48 +170,120 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         help="execution backend for the compute phase "
         "(serial / threaded / shared-memory)",
     )
+    parser.add_argument(
+        "--kernel",
+        default="csr",
+        help="local SMVP kernel for the distributed executor",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot after the run "
+        "(.json = JSON, anything else = Prometheus text)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON timeline of the run",
+    )
     args = parser.parse_args(argv)
 
-    inst = get_instance(args.instance)
-    mesh, _ = inst.build()
-    model = inst.model()
-    materials = materials_from_model(mesh, model)
-    stiffness = assemble_stiffness(mesh, materials)
-    mass = assemble_lumped_mass(mesh, materials)
-    dt = stable_timestep(mesh, materials)
-    print(f"instance={args.instance} {mesh} dt={dt:.4f}s")
+    # Validate registry names up front: an unknown kernel/backend must
+    # exit with the registered options, not a traceback from deep in
+    # executor setup.
+    from repro.smvp.backends import make_backend
+    from repro.smvp.kernels import get_kernel
 
-    smvp = None
-    if not args.sequential:
-        partition = partition_mesh(mesh, args.pes)
-        smvp = DistributedSMVP(
-            mesh, partition, materials, backend=args.backend
-        )
-        print(
-            f"distributed on {args.pes} PEs (backend={smvp.backend_name}): "
-            f"C_max={smvp.schedule.c_max} B_max={smvp.schedule.b_max}"
-        )
-    source = PointSource.at_point(
-        mesh,
-        (model.center_x, model.center_y, -4000.0),
-        RickerWavelet(frequency=1.0 / inst.period, amplitude=1e12),
-    )
-    stepper = ExplicitTimeStepper(
-        stiffness, mass, dt, damping_alpha=0.02, smvp=smvp
-    )
     try:
-        records, _ = stepper.run(
-            args.steps, force_at=lambda t: source.force(t, mesh.num_nodes)
+        get_kernel(args.kernel)
+        make_backend(args.backend)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.timeline_out and args.sequential:
+        parser.error(
+            "--timeline-out needs the distributed executor; "
+            "drop --sequential"
         )
+
+    registry = None
+    previous_registry = None
+    if args.metrics_out or args.timeline_out:
+        from repro.telemetry import MetricsRegistry, set_registry
+        from repro.util.clock import now as _now
+
+        registry = MetricsRegistry(clock=_now)
+        previous_registry = set_registry(registry)
+    try:
+        inst = get_instance(args.instance)
+        mesh, _ = inst.build()
+        model = inst.model()
+        materials = materials_from_model(mesh, model)
+        stiffness = assemble_stiffness(mesh, materials)
+        mass = assemble_lumped_mass(mesh, materials)
+        dt = stable_timestep(mesh, materials)
+        print(f"instance={args.instance} {mesh} dt={dt:.4f}s")
+
+        smvp = None
+        if not args.sequential:
+            partition = partition_mesh(mesh, args.pes)
+            smvp = DistributedSMVP(
+                mesh,
+                partition,
+                materials,
+                kernel=args.kernel,
+                backend=args.backend,
+            )
+            print(
+                f"distributed on {args.pes} PEs "
+                f"(backend={smvp.backend_name}): "
+                f"C_max={smvp.schedule.c_max} B_max={smvp.schedule.b_max}"
+            )
+        source = PointSource.at_point(
+            mesh,
+            (model.center_x, model.center_y, -4000.0),
+            RickerWavelet(frequency=1.0 / inst.period, amplitude=1e12),
+        )
+        stepper = ExplicitTimeStepper(
+            stiffness, mass, dt, damping_alpha=0.02, smvp=smvp
+        )
+        log = None
+        if args.timeline_out:
+            from repro.smvp.trace import TraceLog
+
+            log = TraceLog()
+        try:
+            records, _ = stepper.run(
+                args.steps,
+                force_at=lambda t: source.force(t, mesh.num_nodes),
+                trace_sink=log,
+            )
+        finally:
+            if smvp is not None:
+                smvp.close()
+        peak = max(r.max_displacement for r in records)
+        print(
+            f"ran {args.steps} steps to t={stepper.time:.2f}s; "
+            f"peak displacement {peak:.3e} m; "
+            f"finite={np.isfinite(peak)}"
+        )
+        if args.metrics_out:
+            from repro.telemetry import write_metrics
+
+            print(f"wrote metrics to {write_metrics(registry, args.metrics_out)}")
+        if args.timeline_out:
+            from repro.telemetry import render_chrome_trace
+
+            Path(args.timeline_out).write_text(
+                render_chrome_trace(log, registry)
+            )
+            print(f"wrote timeline to {args.timeline_out}")
     finally:
-        if smvp is not None:
-            smvp.close()
-    peak = max(r.max_displacement for r in records)
-    print(
-        f"ran {args.steps} steps to t={stepper.time:.2f}s; "
-        f"peak displacement {peak:.3e} m; "
-        f"finite={np.isfinite(peak)}"
-    )
+        if registry is not None:
+            from repro.telemetry import set_registry
+
+            set_registry(previous_registry)
     return 0
 
 
@@ -382,18 +530,44 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         choices=backend_names(),
         help="execution backend for the partitioned kernels (lmv/mmv)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot after the suite "
+        "(.json = JSON, anything else = Prometheus text)",
+    )
     args = parser.parse_args(argv)
     kernels = tuple(args.kernels) if args.kernels else SUITE
     unknown = [k for k in kernels if k not in SUITE]
     if unknown:
-        parser.error(f"unknown kernels {unknown}")
-    results = run_suite(
-        instance=args.instance,
-        num_parts=args.pes,
-        repetitions=args.repetitions,
-        kernels=kernels,
-        backend=args.backend,
-    )
+        parser.error(
+            f"unknown kernels {unknown}; registered: {list(SUITE)}"
+        )
+    registry = None
+    previous_registry = None
+    if args.metrics_out:
+        from repro.telemetry import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous_registry = set_registry(registry)
+    try:
+        results = run_suite(
+            instance=args.instance,
+            num_parts=args.pes,
+            repetitions=args.repetitions,
+            kernels=kernels,
+            backend=args.backend,
+        )
+    finally:
+        if registry is not None:
+            from repro.telemetry import set_registry
+
+            set_registry(previous_registry)
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+
+        print(f"wrote metrics to {write_metrics(registry, args.metrics_out)}")
     print(
         f"{'kernel':<8} {'p':>4} {'backend':<13} {'flops':>12} "
         f"{'s/SMVP':>12} {'T_f ns':>9} {'MFLOPS':>8}"
@@ -415,22 +589,9 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
     per-step phase table (wall time per phase, per-PE traffic, faults)
     or the JSON report.
     """
-    import numpy as np
-
-    from repro.faults import FaultConfig, FaultInjector
-    from repro.fem import (
-        ExplicitTimeStepper,
-        assemble_lumped_mass,
-        assemble_stiffness,
-        materials_from_model,
-        stable_timestep,
-    )
-    from repro.mesh.instances import get_instance, instance_names
-    from repro.partition.base import partition_mesh
+    from repro.mesh.instances import instance_names
     from repro.smvp.backends import backend_names
-    from repro.smvp.executor import DistributedSMVP
     from repro.smvp.kernels import kernel_names
-    from repro.smvp.trace import TraceLog
 
     parser = argparse.ArgumentParser(
         prog="repro-trace",
@@ -464,45 +625,46 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit the machine-readable JSON report instead of the table",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot after the run "
+        "(.json = JSON, anything else = Prometheus text)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON timeline of the run",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 0.3:
         parser.error("--fault-rate must be in [0, 0.3]")
 
-    inst = get_instance(args.instance)
-    mesh, _ = inst.build()
-    materials = materials_from_model(mesh, inst.model())
-    stiffness = assemble_stiffness(mesh, materials)
-    mass = assemble_lumped_mass(mesh, materials)
-    dt = stable_timestep(mesh, materials)
-    partition = partition_mesh(mesh, args.pes)
-    injector = None
-    if args.fault_rate > 0:
-        injector = FaultInjector(
-            FaultConfig(
-                seed=args.seed,
-                drop_rate=args.fault_rate,
-                bitflip_rate=args.fault_rate,
-                duplicate_rate=args.fault_rate,
-            )
-        )
-    smvp = DistributedSMVP(
-        mesh,
-        partition,
-        materials,
-        kernel=args.kernel,
-        backend=args.backend,
-        injector=injector,
-    )
-    log = TraceLog()
-    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
-    force = np.zeros(3 * mesh.num_nodes)
-    force[: min(300, force.size)] = 1e9
+    registry = None
+    previous_registry = None
+    if args.metrics_out or args.timeline_out:
+        from repro.telemetry import MetricsRegistry, set_registry
+        from repro.util.clock import now as _now
+
+        registry = MetricsRegistry(clock=_now)
+        previous_registry = set_registry(registry)
     try:
-        stepper.run(
-            args.steps, force_at=lambda t: force, trace_sink=log
+        log, _flops, _schedule = _run_traced_workload(
+            instance=args.instance,
+            pes=args.pes,
+            steps=args.steps,
+            kernel=args.kernel,
+            backend=args.backend,
+            fault_rate=args.fault_rate,
+            seed=args.seed,
         )
     finally:
-        smvp.close()
+        if registry is not None:
+            from repro.telemetry import set_registry
+
+            set_registry(previous_registry)
     if args.json:
         print(log.render_json())
     else:
@@ -512,4 +674,298 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
             f"fault_rate={args.fault_rate}"
         )
         print(log.render_table())
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+
+        print(f"wrote metrics to {write_metrics(registry, args.metrics_out)}")
+    if args.timeline_out:
+        from repro.telemetry import render_chrome_trace
+
+        Path(args.timeline_out).write_text(
+            render_chrome_trace(log, registry)
+        )
+        print(f"wrote timeline to {args.timeline_out}")
+    return 0
+
+
+def main_metrics(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-metrics``: the observability surface.
+
+    ``snapshot``
+        Run an instrumented workload and dump the metrics registry
+        (Prometheus text or JSON snapshot).
+    ``timeline``
+        Export a Chrome-trace/Perfetto JSON timeline — from a fresh
+        instrumented run or from a saved ``repro-trace --json`` report.
+    ``drift``
+        Compare measured per-superstep phase times against the
+        Eq. (1)/(2) predictions on a named machine; optionally fail
+        (exit 1) when relative drift exceeds a threshold.
+    """
+    from repro.mesh.instances import instance_names
+    from repro.model.machine import MACHINES
+    from repro.smvp.backends import backend_names
+    from repro.smvp.kernels import kernel_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description=(
+            "Observability for the reproduction pipeline: metrics "
+            "snapshots, Perfetto timelines, and model-vs-measured "
+            "drift monitoring."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--instance", default="demo", choices=list(instance_names())
+        )
+        p.add_argument("--pes", type=int, default=8, help="number of PEs")
+        p.add_argument("--steps", type=int, default=5)
+        p.add_argument("--kernel", default="csr", choices=kernel_names())
+        p.add_argument(
+            "--backend", default="serial", choices=backend_names()
+        )
+        p.add_argument(
+            "--fault-rate",
+            type=float,
+            default=0.0,
+            help="uniform drop/bitflip/duplicate rate (0 = clean path)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="run an instrumented workload and dump the registry",
+    )
+    add_workload_args(p_snap)
+    p_snap.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write instead of printing (.json = JSON snapshot, "
+        "anything else = Prometheus text)",
+    )
+    p_snap.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
+    )
+
+    p_tl = sub.add_parser(
+        "timeline", help="export a Chrome-trace/Perfetto JSON timeline"
+    )
+    add_workload_args(p_tl)
+    p_tl.add_argument(
+        "--from-trace",
+        default=None,
+        metavar="PATH",
+        help="convert a saved `repro-trace --json` report instead of "
+        "running a workload",
+    )
+    p_tl.add_argument(
+        "--out", default=None, metavar="PATH", help="write instead of printing"
+    )
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="compare measured phase times against the Eq. (1)/(2) model",
+    )
+    add_workload_args(p_drift)
+    p_drift.add_argument(
+        "--source",
+        default="simulate",
+        choices=("simulate", "execute"),
+        help="'simulate' runs the BSP simulator on the named machine "
+        "(measured == modeled by construction when fault-free); "
+        "'execute' runs the real executor and fits a host machine "
+        "from the first supersteps",
+    )
+    p_drift.add_argument(
+        "--machine",
+        default="t3e",
+        choices=sorted(MACHINES),
+        help="machine preset for --source simulate (needs T_l/T_w)",
+    )
+    p_drift.add_argument(
+        "--max-drift",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) when |relative drift| of T_comp or T_comm "
+        "exceeds this fraction, or the beta bound is violated",
+    )
+    p_drift.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of the table",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.error("choose a subcommand: snapshot, timeline, or drift")
+    if not 0.0 <= args.fault_rate <= 0.3:
+        parser.error("--fault-rate must be in [0, 0.3]")
+
+    if args.command == "snapshot":
+        return _metrics_snapshot(args)
+    if args.command == "timeline":
+        return _metrics_timeline(args)
+    return _metrics_drift(args, parser)
+
+
+def _metrics_snapshot(args) -> int:
+    from repro.telemetry import (
+        MetricsRegistry,
+        render_prometheus,
+        render_snapshot_json,
+        use_registry,
+        write_metrics,
+    )
+    from repro.util.clock import now
+
+    registry = MetricsRegistry(clock=now)
+    with use_registry(registry):
+        log, _flops, _schedule = _run_traced_workload(
+            instance=args.instance,
+            pes=args.pes,
+            steps=args.steps,
+            kernel=args.kernel,
+            backend=args.backend,
+            fault_rate=args.fault_rate,
+            seed=args.seed,
+        )
+        for trace in log.traces:
+            registry.histogram(
+                "repro_smvp_t_smvp_seconds",
+                help_text="superstep wall time",
+            ).observe(trace.t_smvp)
+            registry.histogram(
+                "repro_smvp_t_comm_seconds",
+                help_text="communication-phase wall time",
+            ).observe(trace.t_comm)
+    if args.out:
+        print(f"wrote metrics to {write_metrics(registry, args.out)}")
+    elif args.json:
+        sys.stdout.write(render_snapshot_json(registry))
+    else:
+        sys.stdout.write(render_prometheus(registry))
+    return 0
+
+
+def _metrics_timeline(args) -> int:
+    from repro.telemetry import MetricsRegistry, render_chrome_trace, use_registry
+
+    registry = None
+    if args.from_trace:
+        from repro.smvp.trace import TraceLog
+
+        log = TraceLog.from_json(Path(args.from_trace).read_text())
+    else:
+        from repro.util.clock import now
+
+        registry = MetricsRegistry(clock=now)
+        with use_registry(registry):
+            log, _flops, _schedule = _run_traced_workload(
+                instance=args.instance,
+                pes=args.pes,
+                steps=args.steps,
+                kernel=args.kernel,
+                backend=args.backend,
+                fault_rate=args.fault_rate,
+                seed=args.seed,
+            )
+    text = render_chrome_trace(log, registry)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote timeline to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _metrics_drift(args, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from repro.model.machine import MACHINES
+    from repro.telemetry import DriftMonitor, DriftThresholds, fit_machine
+
+    thresholds = None
+    if args.max_drift is not None:
+        if args.max_drift <= 0:
+            parser.error("--max-drift must be positive")
+        thresholds = DriftThresholds(
+            max_comp_drift=args.max_drift,
+            max_comm_drift=args.max_drift,
+            max_efficiency_delta=1.0,  # gated by the time drifts above
+        )
+
+    if args.source == "simulate":
+        from repro.mesh.instances import get_instance
+        from repro.partition.base import partition_mesh
+        from repro.simulate.bsp import BspSimulator
+        from repro.smvp.distribution import DataDistribution
+        from repro.smvp.schedule import CommSchedule
+
+        machine = MACHINES[args.machine]
+        try:
+            machine.require_comm("drift monitoring")
+        except ValueError as exc:
+            parser.error(str(exc))
+        inst = get_instance(args.instance)
+        mesh, _ = inst.build()
+        partition = partition_mesh(mesh, args.pes)
+        dist = DataDistribution(mesh, partition)
+        schedule = CommSchedule(dist)
+        flops = dist.local_counts["flops"]
+        injector = None
+        if args.fault_rate > 0:
+            from repro.faults import FaultConfig, FaultInjector
+
+            injector = FaultInjector(
+                FaultConfig(
+                    seed=args.seed,
+                    drop_rate=args.fault_rate,
+                    bitflip_rate=args.fault_rate,
+                    duplicate_rate=args.fault_rate,
+                )
+            )
+        simulator = BspSimulator(flops, schedule, machine, injector=injector)
+        monitor = DriftMonitor(
+            flops, schedule, machine, thresholds=thresholds
+        )
+        for step in range(args.steps):
+            monitor.observe(
+                simulator.run("barrier", step=step), step=step
+            )
+    else:  # execute: measure the real executor against a fitted host
+        log, flops, schedule = _run_traced_workload(
+            instance=args.instance,
+            pes=args.pes,
+            steps=args.steps,
+            kernel=args.kernel,
+            backend=args.backend,
+            fault_rate=args.fault_rate,
+            seed=args.seed,
+        )
+        if not log.traces:
+            parser.error("the workload produced no supersteps")
+        calibrate = log.traces[: max(1, min(3, len(log.traces) - 1))]
+        machine = fit_machine(calibrate, flops, schedule)
+        monitor = DriftMonitor(
+            flops, schedule, machine, thresholds=thresholds
+        )
+        for trace in log.traces[len(calibrate):]:
+            monitor.observe(trace)
+
+    report = monitor.report()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_table())
+    if args.max_drift is not None and not report.ok:
+        for problem in report.violations():
+            print(f"DRIFT FAILURE: {problem}", file=sys.stderr)
+        return 1
     return 0

@@ -32,6 +32,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.faults.errors import CheckpointError
+from repro.telemetry.registry import count
 
 PathLike = Union[str, os.PathLike]
 
@@ -149,6 +150,7 @@ class CheckpointManager:
             )
         os.replace(tmp, path)
         self._prune()
+        count("repro_checkpoint_saves_total")
         return path
 
     def maybe_save(self, stepper) -> Optional[Path]:
@@ -184,9 +186,12 @@ class CheckpointManager:
                 if crc != int(data["crc"]):
                     raise CheckpointError(f"{path} failed its CRC check")
         except CheckpointError:
+            count("repro_checkpoint_load_errors_total")
             raise
         except Exception as exc:  # zipfile/OSError/ValueError zoo
+            count("repro_checkpoint_load_errors_total")
             raise CheckpointError(f"{path} is unreadable: {exc}") from exc
+        count("repro_checkpoint_loads_total")
         return stored
 
     def latest(self) -> Optional[Checkpoint]:

@@ -24,6 +24,7 @@ import scipy.sparse as sp
 from repro.fem.element import element_lumped_mass, element_stiffness
 from repro.fem.material import ElementMaterials
 from repro.mesh.core import TetMesh
+from repro.telemetry.registry import get_registry, stage_span
 
 #: Elements per assembly chunk (144 COO entries each).
 DEFAULT_CHUNK = 100_000
@@ -66,17 +67,32 @@ def assemble_stiffness(
         raise ValueError("fmt must be 'csr' or 'bsr'")
     n = mesh.num_nodes
     total: Optional[sp.csr_matrix] = None
-    for start in range(0, mesh.num_elements, chunk_size):
-        ids = np.arange(start, min(start + chunk_size, mesh.num_elements))
-        k_dense = element_stiffness(mesh, materials, ids)
-        part = _scatter_chunk(k_dense, mesh.tets[ids], n)
-        total = part if total is None else total + part
-    if total is None:
-        total = sp.csr_matrix((3 * n, 3 * n))
-    total.sum_duplicates()
+    with stage_span("fem.assemble", track="fem"):
+        for start in range(0, mesh.num_elements, chunk_size):
+            ids = np.arange(start, min(start + chunk_size, mesh.num_elements))
+            k_dense = element_stiffness(mesh, materials, ids)
+            part = _scatter_chunk(k_dense, mesh.tets[ids], n)
+            total = part if total is None else total + part
+        if total is None:
+            total = sp.csr_matrix((3 * n, 3 * n))
+        total.sum_duplicates()
+    _record_assembly(total, scope="global")
     if fmt == "bsr":
         return sp.bsr_matrix(total, blocksize=(3, 3))
     return total
+
+
+def _record_assembly(matrix: sp.spmatrix, scope: str) -> None:
+    """Fold one finished assembly into the installed registry, if any."""
+    reg = get_registry()
+    if reg is not None:
+        reg.counter(
+            "repro_fem_assemblies_total", "stiffness assemblies"
+        ).inc(scope=scope)
+        reg.counter(
+            "repro_fem_assembled_nnz_total",
+            "nonzeros across assembled stiffness matrices",
+        ).inc(int(matrix.nnz), scope=scope)
 
 
 def assemble_lumped_mass(
@@ -123,14 +139,16 @@ def assemble_subdomain_stiffness(
     ):
         raise ValueError("element touches a node not in local_nodes")
     total: Optional[sp.csr_matrix] = None
-    for start in range(0, len(element_ids), chunk_size):
-        sel = np.arange(start, min(start + chunk_size, len(element_ids)))
-        k_dense = element_stiffness(mesh, materials, element_ids[sel])
-        part = _scatter_chunk(k_dense, local_tets[sel], n_local)
-        total = part if total is None else total + part
-    if total is None:
-        total = sp.csr_matrix((3 * n_local, 3 * n_local))
-    total.sum_duplicates()
+    with stage_span("fem.assemble_subdomain", track="fem"):
+        for start in range(0, len(element_ids), chunk_size):
+            sel = np.arange(start, min(start + chunk_size, len(element_ids)))
+            k_dense = element_stiffness(mesh, materials, element_ids[sel])
+            part = _scatter_chunk(k_dense, local_tets[sel], n_local)
+            total = part if total is None else total + part
+        if total is None:
+            total = sp.csr_matrix((3 * n_local, 3 * n_local))
+        total.sum_duplicates()
+    _record_assembly(total, scope="subdomain")
     if fmt == "bsr":
         return sp.bsr_matrix(total, blocksize=(3, 3))
     return total

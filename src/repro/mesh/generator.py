@@ -41,6 +41,7 @@ from repro.mesh.core import TetMesh
 from repro.mesh.delaunay import delaunay_tetrahedralize
 from repro.mesh.stuffing import jitter_mesh, stuff_octree
 from repro.octree import LinearOctree, graded_points
+from repro.telemetry.registry import get_registry
 from repro.util.clock import now
 from repro.velocity.basin import BasinModel
 from repro.velocity.sizing import SizingField, WavelengthSizingField
@@ -159,4 +160,18 @@ def generate_mesh(
         seconds_octree=t1 - t0,
         seconds_mesh=t2 - t1,
     )
+    reg = get_registry()
+    if reg is not None:
+        reg.counter("repro_mesh_builds_total", "meshes generated").inc(
+            method=method
+        )
+        reg.gauge("repro_mesh_nodes", "last mesh node count").set(
+            mesh.num_nodes
+        )
+        reg.gauge("repro_mesh_elements", "last mesh element count").set(
+            mesh.num_elements
+        )
+        # Re-exports the pipeline's own clock reads; none happen here.
+        reg.add_span("mesh.octree", t0, t1, track="mesh")
+        reg.add_span(f"mesh.{method}", t1, t2, track="mesh")
     return mesh, report

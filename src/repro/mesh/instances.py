@@ -28,6 +28,7 @@ from repro import paperdata
 from repro.mesh.core import TetMesh
 from repro.mesh.generator import MeshBuildReport, generate_mesh
 from repro.mesh.io import MeshIOError, load_mesh, save_mesh
+from repro.telemetry.registry import count
 from repro.velocity.basin import BasinModel, default_san_fernando_like_model
 
 
@@ -99,6 +100,11 @@ class QuakeInstance:
         if use_cache:
             cached = _MEMORY_CACHE.get(self.name)
             if cached is not None:
+                count(
+                    "repro_mesh_cache_total",
+                    instance=self.name,
+                    result="memory-hit",
+                )
                 return cached
             disk = self._disk_cache_path()
             if disk is not None and disk.exists():
@@ -118,9 +124,17 @@ class QuakeInstance:
                     except OSError:
                         pass
                 else:
+                    count(
+                        "repro_mesh_cache_total",
+                        instance=self.name,
+                        result="disk-hit",
+                    )
                     result = (mesh, None)
                     _MEMORY_CACHE[self.name] = result
                     return result
+        count(
+            "repro_mesh_cache_total", instance=self.name, result="miss"
+        )
         mesh, report = generate_mesh(
             self.model(),
             period=self.period,

@@ -24,6 +24,7 @@ from typing import Union
 import numpy as np
 
 from repro.mesh.core import TetMesh
+from repro.telemetry.registry import count
 
 PathLike = Union[str, os.PathLike]
 
@@ -58,6 +59,7 @@ def save_mesh(mesh: TetMesh, path: PathLike) -> None:
             crc=np.uint64(_payload_crc(mesh.points, mesh.tets)),
         )
     os.replace(tmp, path)
+    count("repro_mesh_io_saves_total", format="npz")
 
 
 def load_mesh(path: PathLike) -> TetMesh:
@@ -80,14 +82,21 @@ def load_mesh(path: PathLike) -> TetMesh:
             tets = data["tets"]
             if "crc" in data and _payload_crc(points, tets) != int(data["crc"]):
                 raise MeshIOError(f"{path} failed its CRC check (bit rot?)")
-    except (MeshIOError, FileNotFoundError):
+    except FileNotFoundError:
+        raise
+    except MeshIOError:
+        count("repro_mesh_io_errors_total", format="npz")
         raise
     except Exception as exc:  # zipfile.BadZipFile, OSError, EOFError, ...
+        count("repro_mesh_io_errors_total", format="npz")
         raise MeshIOError(f"{path} is unreadable: {exc}") from exc
     try:
-        return TetMesh(points, tets)
+        mesh = TetMesh(points, tets)
     except (ValueError, IndexError) as exc:
+        count("repro_mesh_io_errors_total", format="npz")
         raise MeshIOError(f"{path} holds invalid mesh arrays: {exc}") from exc
+    count("repro_mesh_io_loads_total", format="npz")
+    return mesh
 
 
 def save_mesh_text(mesh: TetMesh, path: PathLike) -> None:
@@ -108,6 +117,7 @@ def save_mesh_text(mesh: TetMesh, path: PathLike) -> None:
             f.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
         for a, b, c, d in mesh.tets:
             f.write(f"{int(a)} {int(b)} {int(c)} {int(d)}\n")
+    count("repro_mesh_io_saves_total", format="text")
 
 
 def load_mesh_text(path: PathLike) -> TetMesh:
@@ -135,7 +145,10 @@ def load_mesh_text(path: PathLike) -> TetMesh:
                     raise MeshIOError(f"{path}: bad element line {i}")
                 tets[i] = [int(p) for p in parts]
         except MeshIOError:
+            count("repro_mesh_io_errors_total", format="text")
             raise
         except ValueError as exc:  # unparseable numbers = truncation/rot
+            count("repro_mesh_io_errors_total", format="text")
             raise MeshIOError(f"{path}: {exc}") from exc
+    count("repro_mesh_io_loads_total", format="text")
     return TetMesh(points, tets, copy=False)

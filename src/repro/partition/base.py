@@ -8,6 +8,7 @@ from typing import Callable, Dict, Optional, Type
 import numpy as np
 
 from repro.mesh.core import TetMesh
+from repro.telemetry.registry import get_registry, stage_span
 
 
 @dataclass(frozen=True)
@@ -163,4 +164,14 @@ def partition_mesh(
         raise ValueError(
             f"unknown method {method!r}; available: {sorted(PARTITIONERS)}"
         ) from None
-    return cls().partition(mesh, num_parts, seed=seed)
+    with stage_span(f"partition.{method}", track="partition"):
+        part = cls().partition(mesh, num_parts, seed=seed)
+    reg = get_registry()
+    if reg is not None:
+        reg.counter(
+            "repro_partitions_total", "meshes partitioned"
+        ).inc(method=method)
+        reg.gauge(
+            "repro_partition_imbalance", "last partition imbalance"
+        ).set(part.imbalance(), method=method)
+    return part

@@ -53,6 +53,7 @@ from repro.faults.recovery import retransmit_penalty
 from repro.model.machine import Machine
 from repro.smvp.schedule import CommSchedule
 from repro.smvp.trace import PhaseBreakdown
+from repro.telemetry.registry import get_registry, record_fault_stats
 
 #: Execution modes accepted by :meth:`BspSimulator.run`.
 MODES = ("barrier", "skewed", "overlap")
@@ -137,17 +138,30 @@ class BspSimulator:
             raise ValueError(f"mode must be one of {MODES}")
         faulty = self.injector is not None and self.injector.enabled
         if mode == "barrier":
-            if faulty:
-                return self._run_barrier_faulty(step)
-            return self._run_barrier()
-        if faulty:
+            result = (
+                self._run_barrier_faulty(step)
+                if faulty
+                else self._run_barrier()
+            )
+        elif faulty:
             raise ValueError(
                 "fault injection is only modeled in 'barrier' mode "
                 f"(requested {mode!r})"
             )
-        if mode == "skewed":
-            return self._run_skewed()
-        return self._run_overlap()
+        elif mode == "skewed":
+            result = self._run_skewed()
+        else:
+            result = self._run_overlap()
+        reg = get_registry()
+        if reg is not None:
+            reg.counter(
+                "repro_bsp_runs_total", "simulated SMVPs"
+            ).inc(mode=mode)
+            reg.gauge(
+                "repro_bsp_t_smvp_seconds", "last simulated T_smvp"
+            ).set(result.t_smvp, mode=mode)
+            record_fault_stats(result.faults, "simulator")
+        return result
 
     def _run_barrier(self) -> PhaseTimes:
         t_comp = float((self.flops * self.machine.tf).max())

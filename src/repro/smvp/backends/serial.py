@@ -9,6 +9,7 @@ import scipy.sparse as sp
 
 from repro.smvp.backends.base import ExecutionBackend
 from repro.smvp.kernels import Kernel
+from repro.telemetry.registry import count
 
 
 class SerialBackend(ExecutionBackend):
@@ -21,5 +22,6 @@ class SerialBackend(ExecutionBackend):
         self.states = [kernel.prepare(m) for m in matrices]
 
     def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        count("repro_backend_compute_phases_total", backend=self.name)
         apply = self.kernel.apply
         return [apply(state, x) for state, x in zip(self.states, x_locals)]

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from repro.smvp.backends.base import ExecutionBackend
 from repro.smvp.kernels import Kernel
+from repro.telemetry.registry import count
 
 #: Per-worker (kernel, states), installed by the pool initializer.
 _WORKER_STATE: Optional[Tuple[Kernel, list]] = None
@@ -74,6 +75,7 @@ class SharedMemoryBackend(ExecutionBackend):
         return self._pool
 
     def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        count("repro_backend_compute_phases_total", backend=self.name)
         pool = self._ensure_pool()
         return pool.map(_apply_one, list(enumerate(x_locals)))
 

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 
 from repro.smvp.backends.base import ExecutionBackend
 from repro.smvp.kernels import Kernel
+from repro.telemetry.registry import count
 
 
 def default_workers(num_parts: int) -> int:
@@ -53,6 +54,7 @@ class ThreadedBackend(ExecutionBackend):
         return self._pool
 
     def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        count("repro_backend_compute_phases_total", backend=self.name)
         pool = self._ensure_pool()
         apply = self.kernel.apply
         return list(pool.map(apply, self.states, x_locals))

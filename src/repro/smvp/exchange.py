@@ -31,6 +31,7 @@ import numpy as np
 from repro.faults.detection import FaultStats, block_checksum, verify_block
 from repro.faults.errors import ExchangeFaultError
 from repro.faults.injector import BlockFault, FaultInjector
+from repro.telemetry.registry import get_registry, record_fault_stats
 
 
 @dataclass(frozen=True)
@@ -205,4 +206,28 @@ def run_exchange(
         for send in build_sends(y_locals, pairs)
     ]
     y_locals = apply_sends(y_locals, delivered)
-    return y_locals, ExchangeRecord(words_sent, blocks_sent, faults=stats)
+    record = ExchangeRecord(words_sent, blocks_sent, faults=stats)
+    if get_registry() is not None:
+        _record_exchange_metrics(record)
+    return y_locals, record
+
+
+def _record_exchange_metrics(record: ExchangeRecord) -> None:
+    """Fold one exchange's observed traffic into the installed registry."""
+    reg = get_registry()
+    reg.counter(
+        "repro_exchange_rounds_total", "completed exchange phases"
+    ).inc()
+    words = reg.counter(
+        "repro_exchange_words_total",
+        "words sent per PE (retransmits and duplicates included)",
+    )
+    blocks = reg.counter(
+        "repro_exchange_blocks_total",
+        "blocks sent per PE (retransmits and duplicates included)",
+    )
+    for pe in range(len(record.words_sent)):
+        words.inc(int(record.words_sent[pe]), pe=pe)
+        blocks.inc(int(record.blocks_sent[pe]), pe=pe)
+    if record.faults is not None:
+        record_fault_stats(record.faults, "exchange")

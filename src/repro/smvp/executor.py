@@ -51,6 +51,7 @@ from repro.smvp.exchange import ExchangeRecord, make_transport, run_exchange
 from repro.smvp.kernels import get_kernel
 from repro.smvp.schedule import CommSchedule
 from repro.smvp.trace import SuperstepTrace, TraceSink
+from repro.telemetry.registry import count, get_registry
 from repro.util.clock import now
 
 __all__ = ["DistributedSMVP", "ExchangeRecord"]
@@ -129,6 +130,21 @@ class DistributedSMVP:
         self.backend = make_backend(backend)
         self.backend_name = self.backend.name
         self.backend.setup(self.kernel, self.local_matrices)
+
+        reg = get_registry()
+        if reg is not None:
+            reg.counter(
+                "repro_smvp_setups_total", "executor constructions"
+            ).inc(kernel=self.kernel_name, backend=self.backend_name)
+            reg.gauge("repro_smvp_num_pes", "PE count").set(
+                partition.num_parts
+            )
+            reg.gauge("repro_smvp_c_max_words", "schedule C_max").set(
+                self.schedule.c_max
+            )
+            reg.gauge("repro_smvp_b_max_blocks", "schedule B_max").set(
+                self.schedule.b_max
+            )
 
         # Per unordered pair: (part_a, part_b, local indices on a, on b).
         self._pairs: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
@@ -234,6 +250,11 @@ class DistributedSMVP:
         :class:`~repro.smvp.trace.SuperstepTrace` per call; without
         one, the path reads no clock at all.
         """
+        count(
+            "repro_smvp_supersteps_total",
+            kernel=self.kernel_name,
+            backend=self.backend_name,
+        )
         sink = self.trace_sink
         if sink is None:
             x_locals = self.scatter(x_global)

@@ -37,6 +37,7 @@ from repro.mesh.core import TetMesh
 from repro.mesh.instances import QuakeInstance, get_instance
 from repro.partition.base import partition_mesh
 from repro.smvp.executor import DistributedSMVP
+from repro.telemetry.registry import count, set_gauge
 from repro.util.clock import now
 from repro.smvp.kernels import get_kernel
 
@@ -94,6 +95,7 @@ def run_kernel(
     """
     if kernel not in SUITE:
         raise ValueError(f"unknown kernel {kernel!r}; options: {SUITE}")
+    count("repro_spark98_runs_total", kernel=kernel, instance=instance)
     inst: QuakeInstance = get_instance(instance)
     mesh, _ = inst.build()
     materials = materials_from_model(mesh, inst.model())
@@ -111,6 +113,9 @@ def run_kernel(
         for _ in range(repetitions):
             k.apply(state, x)
         elapsed = (now() - t0) / repetitions
+        set_gauge(
+            "repro_spark98_seconds_per_smvp", elapsed, kernel=kernel
+        )
         return KernelRun(
             kernel=kernel,
             instance=instance,
@@ -139,6 +144,7 @@ def run_kernel(
             elapsed = (now() - t0) / repetitions
     finally:
         dist_smvp.close()
+    set_gauge("repro_spark98_seconds_per_smvp", elapsed, kernel=kernel)
     return KernelRun(
         kernel=kernel,
         instance=instance,

@@ -97,6 +97,26 @@ class SuperstepTrace(PhaseBreakdown):
             }
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuperstepTrace":
+        """Inverse of :meth:`to_dict` (lists become arrays again)."""
+        faults = None
+        if "faults" in data and data["faults"] is not None:
+            faults = FaultStats(**data["faults"])
+        return cls(
+            step=int(data["step"]),
+            kernel=data["kernel"],
+            backend=data["backend"],
+            t_scatter=float(data["t_scatter"]),
+            t_comp=float(data["t_comp"]),
+            t_comm=float(data["t_comm"]),
+            t_gather=float(data["t_gather"]),
+            t_smvp=float(data["t_smvp"]),
+            words_sent=np.asarray(data["words_sent"], dtype=np.int64),
+            blocks_sent=np.asarray(data["blocks_sent"], dtype=np.int64),
+            faults=faults,
+        )
+
 
 #: Anything that accepts a trace is a sink.
 TraceSink = Callable[[SuperstepTrace], None]
@@ -193,3 +213,17 @@ class TraceLog:
             indent=2,
             sort_keys=True,
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceLog":
+        """Rebuild a log from :meth:`render_json` output."""
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported trace log version {version!r} (expected 1)"
+            )
+        log = cls()
+        for record in payload.get("supersteps", []):
+            log(SuperstepTrace.from_dict(record))
+        return log

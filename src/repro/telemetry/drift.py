@@ -1,0 +1,356 @@
+"""Model-vs-measured drift monitoring.
+
+The paper's argument chain is: measure application properties (F_i,
+C_i, B_i), predict phase times with Equations (1)/(2), trust the
+prediction because the β bound caps the model's pessimism.  The drift
+monitor closes that loop at runtime: feed it the per-superstep
+:class:`~repro.smvp.trace.PhaseBreakdown` stream from either the real
+executor or the BSP simulator, and it compares each superstep against
+the analytic prediction for the same workload on a given
+:class:`~repro.model.machine.Machine`.
+
+Two modeled communication times are tracked:
+
+* the *exact* per-PE form ``max_i (B_i T_l + C_i T_w)`` — what the
+  barrier-mode simulator computes, so simulator drift is zero by
+  construction;
+* the paper's Equation (2) aggregate ``B_max T_l + C_max T_w`` — the
+  pessimistic bound, which must stay within ``β ×`` the exact form
+  (a violation means the measured traffic no longer matches the
+  schedule the β bound was computed from).
+
+``DriftMonitor`` is itself a valid trace sink (``monitor(trace)``), so
+it can be attached anywhere a :class:`~repro.smvp.trace.TraceLog` can.
+This module is deliberately clock-free: it only ever consumes times
+measured elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.machine import Machine
+from repro.smvp.schedule import CommSchedule
+from repro.smvp.trace import PhaseBreakdown
+from repro.stats.beta import beta_bound
+from repro.telemetry.registry import get_registry
+
+#: Relative slack allowed on the β check before it counts as violated
+#: (β itself is exact arithmetic; the slack absorbs float roundoff).
+BETA_TOLERANCE = 1e-9
+
+
+class DriftError(ValueError):
+    """Raised by :meth:`DriftReport.check` when drift exceeds bounds."""
+
+
+def _relative(measured: float, modeled: float) -> float:
+    """Signed relative drift; 0 when both are (near-)zero."""
+    if modeled != 0.0:
+        return (measured - modeled) / modeled
+    return 0.0 if measured == 0.0 else float("inf")
+
+
+def modeled_breakdown(
+    flops_per_pe: np.ndarray,
+    schedule: CommSchedule,
+    machine: Machine,
+) -> PhaseBreakdown:
+    """Exact per-PE barrier-model prediction for one superstep."""
+    machine.require_comm("drift monitoring")
+    flops = np.asarray(flops_per_pe, dtype=np.float64)
+    t_comp = float((flops * machine.tf).max()) if len(flops) else 0.0
+    busy = (
+        schedule.blocks_per_pe * machine.tl
+        + schedule.words_per_pe * machine.tw
+    )
+    t_comm = float(busy.max()) if len(busy) else 0.0
+    return PhaseBreakdown(
+        t_comp=t_comp, t_comm=t_comm, t_smvp=t_comp + t_comm
+    )
+
+
+def eq2_t_comm(schedule: CommSchedule, machine: Machine) -> float:
+    """The paper's Equation (2): ``B_max T_l + C_max T_w``."""
+    machine.require_comm("Equation (2)")
+    return schedule.b_max * machine.tl + schedule.c_max * machine.tw
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Relative-drift bounds for :meth:`DriftReport.check`."""
+
+    max_comp_drift: float = 0.25
+    max_comm_drift: float = 0.25
+    max_efficiency_delta: float = 0.10
+
+
+@dataclass(frozen=True)
+class DriftRecord:
+    """One superstep's measured-vs-modeled comparison."""
+
+    step: int
+    measured: PhaseBreakdown
+    modeled: PhaseBreakdown
+    words_measured: Optional[int] = None
+    words_scheduled: Optional[int] = None
+
+    @property
+    def comp_drift(self) -> float:
+        return _relative(self.measured.t_comp, self.modeled.t_comp)
+
+    @property
+    def comm_drift(self) -> float:
+        return _relative(self.measured.t_comm, self.modeled.t_comm)
+
+    @property
+    def efficiency_delta(self) -> float:
+        return self.measured.efficiency - self.modeled.efficiency
+
+    @property
+    def traffic_drift(self) -> float:
+        """Relative excess words vs the schedule (retransmits show up here)."""
+        if self.words_measured is None or self.words_scheduled is None:
+            return 0.0
+        return _relative(
+            float(self.words_measured), float(self.words_scheduled)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "t_comp_measured": self.measured.t_comp,
+            "t_comp_modeled": self.modeled.t_comp,
+            "comp_drift": self.comp_drift,
+            "t_comm_measured": self.measured.t_comm,
+            "t_comm_modeled": self.modeled.t_comm,
+            "comm_drift": self.comm_drift,
+            "efficiency_measured": self.measured.efficiency,
+            "efficiency_modeled": self.modeled.efficiency,
+            "efficiency_delta": self.efficiency_delta,
+            "traffic_drift": self.traffic_drift,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Everything the monitor observed, plus pass/fail logic."""
+
+    machine: str
+    beta: float
+    eq2_t_comm: float
+    exact_t_comm: float
+    thresholds: DriftThresholds
+    records: List[DriftRecord] = field(default_factory=list)
+
+    @property
+    def beta_violated(self) -> bool:
+        """Eq. (2) exceeding β × the exact model breaks the paper's bound."""
+        return self.eq2_t_comm > self.beta * self.exact_t_comm * (
+            1.0 + BETA_TOLERANCE
+        )
+
+    @property
+    def max_abs_comp_drift(self) -> float:
+        return max((abs(r.comp_drift) for r in self.records), default=0.0)
+
+    @property
+    def max_abs_comm_drift(self) -> float:
+        return max((abs(r.comm_drift) for r in self.records), default=0.0)
+
+    @property
+    def max_abs_efficiency_delta(self) -> float:
+        return max(
+            (abs(r.efficiency_delta) for r in self.records), default=0.0
+        )
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        t = self.thresholds
+        if self.max_abs_comp_drift > t.max_comp_drift:
+            out.append(
+                f"T_comp drift {self.max_abs_comp_drift:.3%} exceeds "
+                f"{t.max_comp_drift:.3%}"
+            )
+        if self.max_abs_comm_drift > t.max_comm_drift:
+            out.append(
+                f"T_comm drift {self.max_abs_comm_drift:.3%} exceeds "
+                f"{t.max_comm_drift:.3%}"
+            )
+        if self.max_abs_efficiency_delta > t.max_efficiency_delta:
+            out.append(
+                f"efficiency delta {self.max_abs_efficiency_delta:.3f} "
+                f"exceeds {t.max_efficiency_delta:.3f}"
+            )
+        if self.beta_violated:
+            out.append(
+                f"beta bound violated: Eq.(2) T_comm "
+                f"{self.eq2_t_comm:.3e} > beta({self.beta:.3f}) x exact "
+                f"{self.exact_t_comm:.3e}"
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def check(self) -> None:
+        """Raise :class:`DriftError` when any bound is exceeded."""
+        problems = self.violations()
+        if problems:
+            raise DriftError("; ".join(problems))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "machine": self.machine,
+            "beta": self.beta,
+            "eq2_t_comm": self.eq2_t_comm,
+            "exact_t_comm": self.exact_t_comm,
+            "beta_violated": self.beta_violated,
+            "max_abs_comp_drift": self.max_abs_comp_drift,
+            "max_abs_comm_drift": self.max_abs_comm_drift,
+            "max_abs_efficiency_delta": self.max_abs_efficiency_delta,
+            "violations": self.violations(),
+            "supersteps": [r.to_dict() for r in self.records],
+        }
+
+    def render_table(self) -> str:
+        header = (
+            f"{'step':>5} {'comp meas':>11} {'comp model':>11} "
+            f"{'drift':>8} {'comm meas':>11} {'comm model':>11} "
+            f"{'drift':>8} {'eff meas':>8} {'eff model':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.records:
+            lines.append(
+                f"{r.step:>5} {r.measured.t_comp:>11.4e} "
+                f"{r.modeled.t_comp:>11.4e} {r.comp_drift:>8.2%} "
+                f"{r.measured.t_comm:>11.4e} {r.modeled.t_comm:>11.4e} "
+                f"{r.comm_drift:>8.2%} {r.measured.efficiency:>8.3f} "
+                f"{r.modeled.efficiency:>9.3f}"
+            )
+        lines.append("-" * len(header))
+        beta_state = "VIOLATED" if self.beta_violated else "ok"
+        lines.append(
+            f"machine={self.machine}  beta={self.beta:.3f}  "
+            f"Eq.(2) T_comm={self.eq2_t_comm:.4e}  "
+            f"exact T_comm={self.exact_t_comm:.4e}  [{beta_state}]"
+        )
+        lines.append(
+            f"max |drift|: comp={self.max_abs_comp_drift:.2%}  "
+            f"comm={self.max_abs_comm_drift:.2%}  "
+            f"efficiency delta={self.max_abs_efficiency_delta:.3f}"
+        )
+        return "\n".join(lines)
+
+
+class DriftMonitor:
+    """Compare a stream of phase breakdowns against the model.
+
+    Usable directly as a trace sink::
+
+        monitor = DriftMonitor(flops, schedule, machine)
+        smvp = DistributedSMVP(..., trace_sink=monitor)
+    """
+
+    def __init__(
+        self,
+        flops_per_pe: np.ndarray,
+        schedule: CommSchedule,
+        machine: Machine,
+        thresholds: Optional[DriftThresholds] = None,
+    ) -> None:
+        machine.require_comm("drift monitoring")
+        self.machine = machine
+        self.schedule = schedule
+        self.flops = np.asarray(flops_per_pe, dtype=np.float64)
+        self.modeled = modeled_breakdown(self.flops, schedule, machine)
+        self.thresholds = thresholds or DriftThresholds()
+        self.beta = beta_bound(
+            schedule.words_per_pe, schedule.blocks_per_pe
+        )
+        self.eq2 = eq2_t_comm(schedule, machine)
+        self.words_scheduled = int(schedule.total_words)
+        self.records: List[DriftRecord] = []
+
+    def observe(
+        self,
+        breakdown: PhaseBreakdown,
+        step: Optional[int] = None,
+        words_measured: Optional[int] = None,
+    ) -> DriftRecord:
+        """Record one superstep; extracts what it can from the trace."""
+        if step is None:
+            step = getattr(breakdown, "step", len(self.records))
+        if words_measured is None:
+            words = getattr(breakdown, "words_sent", None)
+            if words is not None:
+                words_measured = int(np.asarray(words).sum())
+        record = DriftRecord(
+            step=int(step),
+            measured=PhaseBreakdown(
+                t_comp=breakdown.t_comp,
+                t_comm=breakdown.t_comm,
+                t_smvp=breakdown.t_smvp,
+            ),
+            modeled=self.modeled,
+            words_measured=words_measured,
+            words_scheduled=self.words_scheduled,
+        )
+        self.records.append(record)
+        reg = get_registry()
+        if reg is not None:
+            reg.counter(
+                "repro_drift_observations_total",
+                "supersteps compared against the model",
+            ).inc()
+            reg.gauge(
+                "repro_drift_efficiency_delta",
+                "last measured-minus-modeled efficiency",
+            ).set(record.efficiency_delta)
+        return record
+
+    # A DriftMonitor is a TraceSink.
+    __call__ = observe
+
+    def report(self) -> DriftReport:
+        return DriftReport(
+            machine=self.machine.name,
+            beta=float(self.beta),
+            eq2_t_comm=float(self.eq2),
+            exact_t_comm=self.modeled.t_comm,
+            thresholds=self.thresholds,
+            records=list(self.records),
+        )
+
+
+def fit_machine(
+    breakdowns: Sequence[PhaseBreakdown],
+    flops_per_pe: np.ndarray,
+    schedule: CommSchedule,
+    name: str = "host-fit",
+) -> Machine:
+    """Calibrate a (T_f, T_l, T_w) machine from measured supersteps.
+
+    Used by ``repro-metrics drift --source execute`` to compare a real
+    host run against itself: T_f from the mean compute phase over
+    ``max_i F_i``, T_w from the mean communication phase over ``C_max``
+    with T_l folded to zero (the host exchange has no per-block wire
+    latency to separate out).
+    """
+    if not breakdowns:
+        raise ValueError("need at least one measured superstep to fit")
+    flops = np.asarray(flops_per_pe, dtype=np.float64)
+    f_max = float(flops.max()) if len(flops) else 0.0
+    if f_max <= 0:
+        raise ValueError("cannot fit tf: no flops recorded")
+    mean_comp = sum(b.t_comp for b in breakdowns) / len(breakdowns)
+    mean_comm = sum(b.t_comm for b in breakdowns) / len(breakdowns)
+    tf = max(mean_comp / f_max, 1e-15)
+    c_max = float(schedule.c_max)
+    tw = mean_comm / c_max if c_max > 0 else 0.0
+    return Machine(name=name, tf=tf, tl=0.0, tw=max(tw, 0.0))

@@ -1,0 +1,89 @@
+"""Metric exposition: Prometheus-style text and JSON snapshots.
+
+Both renderings are pure functions of a registry snapshot, emit metrics
+in sorted-name order, and carry no timestamps of their own — the output
+is byte-stable for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in key
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (``# HELP`` / ``# TYPE`` / samples)."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = metric.name  # type: ignore[attr-defined]
+        help_text = metric.help_text  # type: ignore[attr-defined]
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric.series():
+                lines.append(
+                    f"{name}{_fmt_labels(key)} {_fmt_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            bounds = [_fmt_value(b) for b in metric.buckets] + ["+Inf"]
+            for bound, total in zip(bounds, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{bound}"}} {total}'
+                )
+            lines.append(f"{name}_sum {_fmt_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_snapshot_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as stable, indented JSON."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write a snapshot to ``path``; format chosen by extension.
+
+    ``.json`` gets the JSON snapshot, anything else the Prometheus
+    text exposition.  Returns the path written.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        text = render_snapshot_json(registry)
+    else:
+        text = render_prometheus(registry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def snapshot_dict(registry: MetricsRegistry) -> Dict[str, object]:
+    """Convenience alias for ``registry.snapshot()``."""
+    return registry.snapshot()

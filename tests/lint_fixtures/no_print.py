@@ -1,0 +1,26 @@
+"""Fixture for the no-print rule.
+
+The docstring mention of print() must not trigger anything.
+"""
+
+
+def leaky_helper(value):
+    print("debug:", value)  # finding: bare print in library code
+    return value * 2
+
+
+def quiet_helper(value):
+    return value * 2
+
+
+def suppressed_helper(value):
+    print(value)  # repro-lint: ignore[no-print]
+    return value
+
+
+class Reporter:
+    def render(self, rows):
+        # Method *named* render does not exempt the module.
+        for row in rows:
+            print(row)  # finding
+        return len(rows)

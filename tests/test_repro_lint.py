@@ -78,6 +78,19 @@ class TestFixtureDetection:
         kernels_py = SRC / "repro" / "smvp" / "kernels.py"
         assert lint_paths([str(kernels_py)], rules=["kernel-registry"]) == []
 
+    def test_no_print_rule(self, fixture_findings):
+        hits = [f for f in fixture_findings if "no_print" in f.path]
+        assert {f.rule for f in hits} == {"no-print"}
+        # Line 17 carries a pragma; the docstring mention is invisible.
+        assert sorted(f.line for f in hits) == [8, 25]
+        assert all("print() in library code" in f.message for f in hits)
+
+    def test_no_print_exempts_presentation_layers(self):
+        cli_py = SRC / "repro" / "cli.py"
+        tables_dir = SRC / "repro" / "tables"
+        assert lint_paths([str(cli_py)], rules=["no-print"]) == []
+        assert lint_paths([str(tables_dir)], rules=["no-print"]) == []
+
     def test_bad_schedule_rejected(self, fixture_findings):
         bad = [f for f in fixture_findings if "bad_schedule" in f.path]
         assert bad and {f.rule for f in bad} == {"schedule-invariant"}
@@ -107,6 +120,7 @@ class TestEngine:
             "unit-mismatch",
             "schedule-invariant",
             "kernel-registry",
+            "no-print",
         }
         assert expected <= set(ALL_RULES)
 
