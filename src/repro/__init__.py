@@ -16,6 +16,9 @@ The package builds the paper's whole stack from scratch:
 * the performance models of Equations (1)-(2) and the Section 4
   requirement analyses (:mod:`repro.model`),
 * a BSP machine simulator validating the model (:mod:`repro.simulate`),
+* self-healing execution — superstep supervisor, online PE eviction,
+  and the chaos harness proving survivor equivalence
+  (:mod:`repro.resilience`),
 * end-to-end telemetry — metrics registry, Perfetto timelines, and
   model-vs-measured drift monitoring (:mod:`repro.telemetry`),
 * and regeneration of every table and figure (:mod:`repro.tables`).
@@ -61,6 +64,12 @@ from repro.model import (
     required_tc,
     sustained_bandwidth_bytes,
     half_bandwidth_targets,
+)
+from repro.resilience import (
+    KillSchedule,
+    RecoveryPolicy,
+    SuperstepSupervisor,
+    run_chaos,
 )
 from repro.simulate import BspSimulator, validate_model
 from repro.telemetry import (
@@ -110,6 +119,10 @@ __all__ = [
     "half_bandwidth_targets",
     "BspSimulator",
     "validate_model",
+    "KillSchedule",
+    "RecoveryPolicy",
+    "SuperstepSupervisor",
+    "run_chaos",
     "DriftMonitor",
     "DriftReport",
     "MetricsRegistry",

@@ -72,6 +72,7 @@ def _ensure_rules_loaded() -> None:
     from repro.analysis import (  # noqa: F401
         api_rules,
         determinism,
+        exception_rules,
         print_rules,
         schedule_check,
         units,

@@ -1,0 +1,102 @@
+"""Exception-hygiene lint rules.
+
+``no-bare-except``
+    Bare ``except:`` handlers, and overly-broad handlers (``except
+    Exception`` / ``except BaseException``) whose body only swallows
+    (``pass``, ``...``, or ``continue``).  In a fault-tolerant
+    pipeline, a silently swallowed exception is the worst failure
+    mode: the detection layer exists precisely so that every fault is
+    *observed* — counted, typed, recovered, or escalated — and a
+    swallowed exception deletes the observation.  Broad handlers that
+    do something (log, count, re-raise as a typed error, return a
+    fallback) are fine; it is the silent swallow that is flagged.
+    CLI entry-point modules (``cli.py``) are exempt — a top-level
+    catch-all that converts any error into an exit code is the one
+    legitimate place to be broad.  Intentional exceptions (e.g. a
+    best-effort fast path with a verified fallback) carry a
+    ``# repro-lint: ignore[no-bare-except]`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.core import Finding, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _exempt(path: str) -> bool:
+    """True for CLI entry-point modules."""
+    return os.path.basename(os.path.normpath(path)) == "cli.py"
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches everything (or nearly)."""
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD
+            for el in node.elts
+        )
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing with the exception."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class NoBareExceptRule(Rule):
+    name = "no-bare-except"
+    description = (
+        "bare `except:` or swallowed broad exception handler; catch "
+        "the narrowest type and observe every fault (cli.py exempt)"
+    )
+
+    def check_python(self, path, source, tree):
+        if _exempt(path):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    rule=self.name,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare `except:` catches everything including "
+                        "KeyboardInterrupt/SystemExit; name the "
+                        "exception types this code can actually handle"
+                    ),
+                )
+            elif _is_broad(node) and _swallows(node):
+                yield Finding(
+                    rule=self.name,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "broad exception handler silently swallows the "
+                        "error; narrow the type, or count/log/re-raise "
+                        "so the fault stays observable"
+                    ),
+                )

@@ -32,6 +32,13 @@
     the metrics registry (``snapshot``), export a Chrome-trace/Perfetto
     timeline (``timeline``), or compare measured phase times against
     the Eq. (1)/(2) model (``drift``).
+
+``repro-chaos``
+    Self-healing exercise: run under the superstep supervisor with a
+    seeded schedule of permanent PE failures, evict the dead PEs
+    online, and prove survivor equivalence (a fresh P-1 run from the
+    spliced state matches bit for bit).  Exits 1 when the proof fails;
+    gates CI's chaos job.
 """
 
 from __future__ import annotations
@@ -967,5 +974,179 @@ def _metrics_drift(args, parser: argparse.ArgumentParser) -> int:
     if args.max_drift is not None and not report.ok:
         for problem in report.violations():
             print(f"DRIFT FAILURE: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main_chaos(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-chaos``: supervised kill-schedule runs."""
+    import json
+
+    from repro.mesh.instances import INSTANCES
+    from repro.model.machine import MACHINES
+    from repro.resilience import (
+        KillSchedule,
+        RecoveryPolicy,
+        render_chaos_report,
+        run_chaos,
+    )
+    from repro.smvp.backends import backend_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description=(
+            "Run a time-stepped distributed simulation under the "
+            "self-healing supervisor with a seeded schedule of permanent "
+            "PE failures, then prove survivor equivalence: a fresh P-1 "
+            "run from the spliced state must match the supervised run "
+            "bit for bit."
+        ),
+    )
+    parser.add_argument(
+        "--instance",
+        default="sf10e",
+        choices=sorted(INSTANCES),
+        help="mesh instance (default: sf10e)",
+    )
+    parser.add_argument("--pes", type=int, default=8, help="initial PEs")
+    parser.add_argument(
+        "--steps", type=int, default=40, help="time steps to run"
+    )
+    parser.add_argument(
+        "--kill",
+        default=None,
+        help=(
+            "kill schedule 'superstep:pe[,superstep:pe...]' "
+            "(default: one seeded random kill)"
+        ),
+    )
+    parser.add_argument(
+        "--kills",
+        type=int,
+        default=1,
+        help="random kills to draw when --kill is not given",
+    )
+    parser.add_argument("--kernel", default="csr")
+    parser.add_argument(
+        "--backend", default="serial", choices=backend_names()
+    )
+    parser.add_argument(
+        "--machine",
+        default="t3e",
+        choices=sorted(MACHINES),
+        help="machine preset pricing the reconfiguration (needs T_l/T_w)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="transient link-fault rate riding along with the kills",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="enable checkpointing (and the rollback recovery path)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=10
+    )
+    parser.add_argument(
+        "--no-shadow",
+        action="store_true",
+        help="disable buddy shadows; force checkpoint rollback recovery",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the survivor-equivalence proof run",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: demo instance, 6 PEs, 10 steps",
+    )
+    args = parser.parse_args(argv)
+
+    machine = MACHINES[args.machine]
+    try:
+        machine.require_comm("the reconfiguration cost model")
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.smoke:
+        instance, pes, steps = "demo", 6, 10
+    else:
+        instance, pes, steps = args.instance, args.pes, args.steps
+    try:
+        kills = (
+            KillSchedule.parse(args.kill)
+            if args.kill
+            else KillSchedule.random(args.seed, pes, steps, args.kills)
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    for _, pe in kills.kills:
+        if pe >= pes:
+            parser.error(f"kill targets PE {pe}, but only {pes} PEs exist")
+    policy = RecoveryPolicy(prefer_shadow=not args.no_shadow)
+    if args.no_shadow and args.checkpoint_dir is None:
+        parser.error("--no-shadow requires --checkpoint-dir")
+
+    report = run_chaos(
+        instance=instance,
+        pes=pes,
+        steps=steps,
+        kills=kills,
+        kernel=args.kernel,
+        backend=args.backend,
+        policy=policy,
+        machine_name=args.machine,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        verify=not args.no_verify,
+    )
+    if args.json:
+        payload = {
+            "instance": report.instance,
+            "kernel": report.kernel,
+            "backend": report.backend,
+            "num_steps": report.num_steps,
+            "num_pes_initial": report.num_pes_initial,
+            "num_pes_final": report.num_pes_final,
+            "kill_schedule": report.kill_schedule,
+            "evictions": [
+                {
+                    "dead_pe": e.dead_pe,
+                    "superstep": e.superstep,
+                    "recovery_source": e.recovery_source,
+                    "recomputed_supersteps": e.recomputed_supersteps,
+                    "migrated_words": e.migrated_words,
+                    "migrated_blocks": e.migrated_blocks,
+                    "shadow_words": e.shadow_words,
+                    "repartition_flops": e.repartition_flops,
+                    "c_max_after": e.delta.c_max_after,
+                    "b_max_after": e.delta.b_max_after,
+                    "cost_seconds": (
+                        e.cost.t_total if e.cost is not None else None
+                    ),
+                }
+                for e in report.evictions
+            ],
+            "retried_supersteps": report.supervisor.retried_supersteps,
+            "survivor_equivalent": report.survivor_equivalent,
+            "survivor_max_abs_diff": report.survivor_max_abs_diff,
+            "final_max_displacement": report.final_max_displacement,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in render_chaos_report(report):
+            print(line)
+    if report.survivor_equivalent is False:
+        print("CHAOS FAILURE: survivor equivalence broken", file=sys.stderr)
         return 1
     return 0

@@ -33,10 +33,12 @@ from repro.faults.detection import (
     verify_residual,
 )
 from repro.faults.errors import (
+    CheckpointCompatibilityError,
     CheckpointError,
     ExchangeFaultError,
     FaultError,
     NumericalFaultError,
+    PermanentFailureError,
 )
 from repro.faults.injector import (
     BlockFault,
@@ -52,6 +54,7 @@ from repro.faults.recovery import (
 __all__ = [
     "BlockFault",
     "Checkpoint",
+    "CheckpointCompatibilityError",
     "CheckpointError",
     "CheckpointManager",
     "ExchangeFaultError",
@@ -60,6 +63,7 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "NumericalFaultError",
+    "PermanentFailureError",
     "TransmissionOutcome",
     "block_checksum",
     "check_finite",

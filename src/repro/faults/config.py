@@ -56,6 +56,12 @@ class FaultConfig:
     timeout_factor: float = 4.0
     #: Backoff multiplier applied to the timeout on successive retries.
     backoff_factor: float = 2.0
+    #: Fractional jitter amplitude on each retry timeout: every stall is
+    #: scaled by a factor in ``[1 - a, 1 + a)`` drawn deterministically
+    #: from ``seed`` keyed on (step, src, dst, attempt), so reliability
+    #: tables stay reproducible while avoiding the lock-step retry
+    #: storms a fixed multiplier produces.  0 disables jitter.
+    backoff_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         for name in (
@@ -80,6 +86,8 @@ class FaultConfig:
             raise ValueError("timeout_factor must be positive")
         if self.backoff_factor < 1:
             raise ValueError("backoff_factor must be at least 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
 
     @property
     def enabled(self) -> bool:

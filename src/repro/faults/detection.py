@@ -54,6 +54,10 @@ class FaultStats:
     words_retransmitted: int = 0
     straggler_events: int = 0
     pe_failures: int = 0
+    #: Blocks routed over the verified slow path because one endpoint's
+    #: links are circuit-broken (see the resilience supervisor's
+    #: quarantine escalation); they bypass injection entirely.
+    quarantined_blocks: int = 0
 
     @property
     def any_injected(self) -> bool:

@@ -13,7 +13,23 @@ class FaultError(Exception):
 
 
 class ExchangeFaultError(FaultError):
-    """A block exchange could not be completed within the retry budget."""
+    """A block exchange could not be completed within the retry budget.
+
+    Carries the failing link (``src``/``dst``) and superstep so the
+    resilience supervisor can blame the right PE when escalating.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        src: "int | None" = None,
+        dst: "int | None" = None,
+        step: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.step = step
 
 
 class NumericalFaultError(FaultError):
@@ -22,3 +38,29 @@ class NumericalFaultError(FaultError):
 
 class CheckpointError(FaultError):
     """A checkpoint file is corrupt, incomplete, or incompatible."""
+
+
+class CheckpointCompatibilityError(CheckpointError):
+    """A checkpoint belongs to a different data distribution.
+
+    Raised instead of silently mis-splicing when the checkpoint header's
+    PE count or row-ownership hash disagrees with the distribution the
+    caller is about to restore into.
+    """
+
+
+class PermanentFailureError(FaultError):
+    """A PE has been declared permanently dead.
+
+    Raised by the resilience supervisor when a PE's failures escalate
+    past every recovery policy (retry, quarantine) and no eviction is
+    possible — e.g. the last surviving pair, or no recoverable state
+    for the dead PE's exclusive rows.
+    """
+
+    def __init__(
+        self, message: str, pe: "int | None" = None, step: "int | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.pe = pe
+        self.step = step

@@ -42,6 +42,7 @@ _DOMAIN_SLOWDOWN = 2
 _DOMAIN_PE_FAIL = 3
 _DOMAIN_BLOCK = 4
 _DOMAIN_CORRUPT = 5
+_DOMAIN_JITTER = 6
 
 
 class BlockFault(enum.Enum):
@@ -136,6 +137,23 @@ class FaultInjector:
         bits = payload.view(np.uint64)
         bits[word] ^= np.uint64(1) << np.uint64(bit)
         return (word, bit)
+
+    def backoff_jitter(
+        self, src: int, dst: int, step: int = 0, attempt: int = 0
+    ) -> float:
+        """Multiplicative jitter on one retry timeout, in [1 - a, 1 + a).
+
+        ``a`` is ``config.backoff_jitter``.  The draw is keyed on
+        (seed, step, src, dst, attempt) like every other decision, so
+        the same failed attempt always stalls for the same simulated
+        time — reliability tables stay reproducible — while distinct
+        links/retries desynchronize instead of retrying in lock step.
+        """
+        amplitude = self.config.backoff_jitter
+        if amplitude <= 0.0:
+            return 1.0
+        u = _uniform(self.config.seed, _DOMAIN_JITTER, step, src, dst, attempt)
+        return 1.0 - amplitude + 2.0 * amplitude * u
 
     def transmission_outcome(
         self, src: int, dst: int, step: int = 0

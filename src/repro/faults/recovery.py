@@ -27,11 +27,11 @@ import re
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.faults.errors import CheckpointError
+from repro.faults.errors import CheckpointCompatibilityError, CheckpointError
 from repro.telemetry.registry import count
 
 PathLike = Union[str, os.PathLike]
@@ -44,6 +44,7 @@ def retransmit_penalty(
     failures: int,
     timeout_factor: float = 4.0,
     backoff_factor: float = 2.0,
+    jitters: Optional[Sequence[float]] = None,
 ) -> float:
     """Extra simulated seconds caused by ``failures`` failed attempts.
 
@@ -52,11 +53,27 @@ def retransmit_penalty(
     ``timeout_factor * base_cost`` and grows by ``backoff_factor`` per
     retry.  The successful attempt's own wire time is *not* included —
     callers already account one nominal transfer.
+
+    ``jitters``, when given, scales the k-th stall by ``jitters[k]`` —
+    the deterministic seeded factors from
+    :meth:`~repro.faults.injector.FaultInjector.backoff_jitter`, which
+    desynchronize concurrent retries without sacrificing
+    reproducibility.  ``None`` keeps the historical un-jittered stalls
+    bit for bit.
     """
     if failures <= 0:
         return 0.0
     timeout = timeout_factor * base_cost
-    if backoff_factor == 1.0:
+    if jitters is not None:
+        if len(jitters) < failures:
+            raise ValueError(
+                f"need one jitter factor per failure ({failures}), "
+                f"got {len(jitters)}"
+            )
+        stalls = sum(
+            timeout * backoff_factor**k * jitters[k] for k in range(failures)
+        )
+    elif backoff_factor == 1.0:
         stalls = failures * timeout
     else:
         stalls = timeout * (backoff_factor**failures - 1.0) / (backoff_factor - 1.0)
@@ -66,21 +83,58 @@ def retransmit_penalty(
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """One recovered snapshot of a time-stepper run."""
+    """One recovered snapshot of a time-stepper run.
+
+    ``num_pes`` and ``ownership_hash`` describe the data distribution
+    active when the snapshot was taken (see
+    :attr:`repro.smvp.distribution.DataDistribution.ownership_hash`);
+    they are ``None`` for checkpoints written without one (sequential
+    runs, or files from before the header existed).
+    """
 
     step_index: int
     dt: float
     u: np.ndarray
     u_prev: np.ndarray
+    num_pes: Optional[int] = None
+    ownership_hash: Optional[int] = None
 
-    def restore(self, stepper) -> None:
+    def matches(self, distribution) -> bool:
+        """Whether this snapshot was taken under ``distribution``.
+
+        True when the checkpoint carries no distribution header (there
+        is nothing to contradict) or when both the PE count and the
+        row-ownership hash agree.
+        """
+        if self.num_pes is None or self.ownership_hash is None:
+            return True
+        return (
+            self.num_pes == distribution.num_parts
+            and self.ownership_hash == distribution.ownership_hash
+        )
+
+    def restore(self, stepper, distribution=None) -> None:
         """Load this snapshot into an :class:`ExplicitTimeStepper`.
 
         The stepper must have been constructed with the same problem
         (state size and ``dt``); mismatches raise
         :class:`CheckpointError` rather than silently resuming a
-        different simulation.
+        different simulation.  Passing the
+        :class:`~repro.smvp.distribution.DataDistribution` the caller
+        is about to resume on additionally validates the checkpoint's
+        distribution header — a snapshot from a different PE count or
+        row ownership raises :class:`CheckpointCompatibilityError`
+        instead of silently mis-splicing state across layouts.
         """
+        if distribution is not None and not self.matches(distribution):
+            raise CheckpointCompatibilityError(
+                f"checkpoint at step {self.step_index} was taken on "
+                f"{self.num_pes} PEs (ownership hash "
+                f"{self.ownership_hash:#x}), but the active distribution "
+                f"has {distribution.num_parts} PEs (hash "
+                f"{distribution.ownership_hash:#x}); splice the state "
+                "through the resilience layer instead of restoring"
+            )
         if stepper.u.shape != self.u.shape:
             raise CheckpointError(
                 f"checkpoint state has {self.u.shape[0]} dofs, "
@@ -133,12 +187,25 @@ class CheckpointManager:
                 out.append(int(match.group(1)))
         return sorted(out)
 
-    def save(self, stepper) -> Path:
-        """Snapshot the stepper's state now (atomic write + CRC)."""
+    def save(self, stepper, distribution=None) -> Path:
+        """Snapshot the stepper's state now (atomic write + CRC).
+
+        When the run is distributed, pass the active
+        :class:`~repro.smvp.distribution.DataDistribution`: the file
+        then carries the PE count and row-ownership hash, and a later
+        restore onto a *different* distribution fails with a typed
+        error instead of silently mis-splicing.
+        """
         state = np.concatenate([stepper.u, stepper.u_prev])
         crc = zlib.crc32(np.ascontiguousarray(state).tobytes())
         path = self._path(stepper.step_index)
         tmp = path.with_suffix(path.suffix + ".tmp")
+        fields = {}
+        if distribution is not None:
+            fields["num_pes"] = np.int64(distribution.num_parts)
+            fields["ownership_hash"] = np.uint64(
+                distribution.ownership_hash
+            )
         with open(tmp, "wb") as f:
             np.savez_compressed(
                 f,
@@ -147,16 +214,17 @@ class CheckpointManager:
                 step_index=np.int64(stepper.step_index),
                 dt=np.float64(stepper.dt),
                 crc=np.uint64(crc),
+                **fields,
             )
         os.replace(tmp, path)
         self._prune()
         count("repro_checkpoint_saves_total")
         return path
 
-    def maybe_save(self, stepper) -> Optional[Path]:
+    def maybe_save(self, stepper, distribution=None) -> Optional[Path]:
         """Snapshot if the stepper just crossed the interval boundary."""
         if stepper.step_index % self.interval == 0:
-            return self.save(stepper)
+            return self.save(stepper, distribution=distribution)
         return None
 
     def load(self, step_index: int) -> Checkpoint:
@@ -177,7 +245,15 @@ class CheckpointManager:
                     dt=float(data["dt"]),
                     u=u,
                     u_prev=u_prev,
-                    )
+                    num_pes=(
+                        int(data["num_pes"]) if "num_pes" in data.files else None
+                    ),
+                    ownership_hash=(
+                        int(data["ownership_hash"])
+                        if "ownership_hash" in data.files
+                        else None
+                    ),
+                )
                 crc = zlib.crc32(
                     np.ascontiguousarray(
                         np.concatenate([u, u_prev])

@@ -122,6 +122,44 @@ class ExplicitTimeStepper:
     def time(self) -> float:
         return self.step_index * self.dt
 
+    @property
+    def smvp(self) -> Callable[[np.ndarray], np.ndarray]:
+        """The SMVP operation each step applies (read via
+        :meth:`rebind_smvp` for the mutable path)."""
+        return self._smvp
+
+    def rebind_smvp(
+        self, smvp: Callable[[np.ndarray], np.ndarray]
+    ) -> None:
+        """Swap the SMVP operation mid-run.
+
+        The central-difference state is the pair ``(u, u_prev)`` plus
+        ``step_index`` — nothing in the stepper caches the operator —
+        so after a PE eviction the resilience supervisor rebinds the
+        reconfigured P-1 executor here and stepping continues
+        bit-consistently.
+        """
+        self._smvp = smvp
+
+    def set_state(
+        self, u: np.ndarray, u_prev: np.ndarray, step_index: int
+    ) -> None:
+        """Load an explicit ``(u, u_prev, step_index)`` state.
+
+        This is the splice point for recovery: the state fully
+        determines the trajectory, so loading a reconstructed pair and
+        continuing reproduces an uninterrupted run exactly.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        u_prev = np.asarray(u_prev, dtype=np.float64)
+        if u.shape != self.u.shape or u_prev.shape != self.u_prev.shape:
+            raise ValueError("state vectors must have length 3n")
+        if step_index < 0:
+            raise ValueError("step_index must be non-negative")
+        self.u = u.copy()
+        self.u_prev = u_prev.copy()
+        self.step_index = int(step_index)
+
     def step(self, force: Optional[np.ndarray] = None) -> StepRecord:
         """Advance one time step; returns diagnostics."""
         dt = self.dt

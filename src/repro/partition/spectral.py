@@ -82,7 +82,7 @@ def fiedler_vector(
         vec = eigvecs[:, 0]
         if np.all(np.isfinite(vec)):
             return vec
-    except Exception:  # pragma: no cover - lobpcg convergence quirks
+    except Exception:  # pragma: no cover  # repro-lint: ignore[no-bare-except]
         pass
     # Fallback: a few rounds of inverse power iteration on (L + sigma I).
     sigma = 1e-3 * float(lap.diagonal().mean() + 1.0)

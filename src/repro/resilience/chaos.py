@@ -1,0 +1,308 @@
+"""Chaos harness: seeded kill schedules and survivor-equivalence proof.
+
+``repro-chaos`` (see :mod:`repro.cli`) drives this module: run a
+time-stepped distributed simulation under the
+:class:`~repro.resilience.supervisor.SuperstepSupervisor` with a
+deterministic :class:`KillSchedule` of permanent PE failures, then
+*prove* the healing worked by relaunching a fresh executor from each
+final :class:`~repro.resilience.supervisor.ResumePoint` and demanding
+the final state match the supervised run to the last bit — the
+acceptance bar of the self-healing design (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.policy import RecoveryPolicy
+from repro.resilience.supervisor import (
+    EvictionEvent,
+    SuperstepSupervisor,
+    SupervisorReport,
+)
+
+#: SeedSequence domain tag for kill-schedule draws (the fault
+#: injector's domains are 1-6; chaos stays clear of them).
+_DOMAIN_KILLS = 101
+
+
+@dataclass(frozen=True)
+class KillSchedule:
+    """Deterministic permanent-failure schedule.
+
+    ``kills`` is a sorted tuple of ``(superstep, original PE id)``
+    pairs; each PE appears at most once (a PE only dies once).
+    """
+
+    kills: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        pes = [pe for _, pe in self.kills]
+        if len(set(pes)) != len(pes):
+            raise ValueError("a PE can only be killed once")
+        for step, pe in self.kills:
+            if step < 0 or pe < 0:
+                raise ValueError("kill entries must be non-negative")
+        object.__setattr__(self, "kills", tuple(sorted(self.kills)))
+
+    @classmethod
+    def parse(cls, spec: str) -> "KillSchedule":
+        """Parse ``"step:pe[,step:pe...]"``, e.g. ``"12:3,40:1"``."""
+        kills = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                step_text, pe_text = token.split(":")
+                kills.append((int(step_text), int(pe_text)))
+            except ValueError:
+                raise ValueError(
+                    f"bad kill token {token!r}; expected 'superstep:pe'"
+                ) from None
+        if not kills:
+            raise ValueError("empty kill schedule")
+        return cls(tuple(kills))
+
+    @classmethod
+    def random(
+        cls, seed: int, num_pes: int, num_steps: int, count: int = 1
+    ) -> "KillSchedule":
+        """Seeded random schedule: ``count`` distinct PEs at distinct
+        supersteps in ``[0, num_steps)``, at least one PE surviving."""
+        if not 1 <= count < num_pes:
+            raise ValueError("count must leave at least one survivor")
+        if count > num_steps:
+            raise ValueError("need at least one superstep per kill")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(seed, _DOMAIN_KILLS))
+        )
+        pes = rng.choice(num_pes, size=count, replace=False)
+        steps = rng.choice(num_steps, size=count, replace=False)
+        return cls(
+            tuple((int(s), int(p)) for s, p in zip(steps, pes))
+        )
+
+    def as_mapping(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {}
+        for step, pe in self.kills:
+            out.setdefault(step, []).append(pe)
+        return out
+
+    def __str__(self) -> str:
+        return ",".join(f"{step}:{pe}" for step, pe in self.kills)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run, equivalence proof included."""
+
+    instance: str
+    kernel: str
+    backend: str
+    num_steps: int
+    num_pes_initial: int
+    num_pes_final: int
+    kill_schedule: str
+    supervisor: SupervisorReport = field(repr=False, default=None)
+    survivor_equivalent: Optional[bool] = None
+    survivor_max_abs_diff: Optional[float] = None
+    final_max_displacement: float = 0.0
+
+    @property
+    def evictions(self) -> List[EvictionEvent]:
+        return self.supervisor.evictions if self.supervisor else []
+
+
+def run_chaos(
+    instance: str = "sf10e",
+    pes: int = 8,
+    steps: int = 40,
+    kills: Optional[KillSchedule] = None,
+    kernel: str = "csr",
+    backend: str = "serial",
+    policy: Optional[RecoveryPolicy] = None,
+    machine_name: str = "t3e",
+    fault_rate: float = 0.0,
+    seed: int = 0,
+    checkpoint_dir=None,
+    checkpoint_interval: int = 10,
+    verify: bool = True,
+) -> ChaosReport:
+    """Run a supervised simulation under a kill schedule and verify.
+
+    The verification relaunches a *fresh* executor from the last
+    eviction's :class:`ResumePoint` — same partition, same injector
+    seed, same exchange counter, same quarantine set — steps it to the
+    end, and demands exact (bit-level) agreement with the supervised
+    run's final ``(u, u_prev)``.
+    """
+    from repro.faults import CheckpointManager, FaultConfig, FaultInjector
+    from repro.fem import (
+        ExplicitTimeStepper,
+        assemble_lumped_mass,
+        assemble_stiffness,
+        materials_from_model,
+        stable_timestep,
+    )
+    from repro.mesh.instances import get_instance
+    from repro.model.machine import MACHINES
+    from repro.partition.base import Partition, partition_mesh
+    from repro.smvp.executor import DistributedSMVP
+
+    if kills is None:
+        kills = KillSchedule.random(seed, pes, steps, count=1)
+    machine = MACHINES[machine_name] if machine_name else None
+
+    inst = get_instance(instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    stiffness = assemble_stiffness(mesh, materials)
+    mass = assemble_lumped_mass(mesh, materials)
+    dt = stable_timestep(mesh, materials)
+    partition = partition_mesh(mesh, pes)
+    injector = None
+    if fault_rate > 0:
+        injector = FaultInjector(
+            FaultConfig(
+                seed=seed,
+                drop_rate=fault_rate,
+                bitflip_rate=fault_rate,
+                duplicate_rate=fault_rate,
+            )
+        )
+    checkpoints = None
+    if checkpoint_dir is not None:
+        checkpoints = CheckpointManager(
+            checkpoint_dir, interval=checkpoint_interval
+        )
+
+    force = np.zeros(3 * mesh.num_nodes)
+    force[: min(300, force.size)] = 1e9
+    force_at = lambda t: force  # noqa: E731 - constant-force workload
+
+    smvp = DistributedSMVP(
+        mesh,
+        partition,
+        materials,
+        kernel=kernel,
+        backend=backend,
+        injector=injector,
+    )
+    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
+    supervisor = SuperstepSupervisor(
+        stepper,
+        policy=policy,
+        checkpoints=checkpoints,
+        kill_schedule=kills.as_mapping(),
+        machine=machine,
+    )
+    try:
+        sup_report = supervisor.run(steps, force_at=force_at)
+        u_final = stepper.u.copy()
+        u_prev_final = stepper.u_prev.copy()
+    finally:
+        stepper.smvp.close()
+
+    report = ChaosReport(
+        instance=instance,
+        kernel=kernel,
+        backend=backend,
+        num_steps=steps,
+        num_pes_initial=pes,
+        num_pes_final=sup_report.final_num_pes,
+        kill_schedule=str(kills),
+        supervisor=sup_report,
+        final_max_displacement=float(np.abs(u_final).max()),
+    )
+    if not verify or not sup_report.resume_points:
+        return report
+
+    rp = sup_report.resume_points[-1]
+    fresh_partition = Partition(
+        rp.partition_parts.copy(), rp.num_parts, method="resume"
+    )
+    fresh = DistributedSMVP(
+        mesh,
+        fresh_partition,
+        materials,
+        kernel=kernel,
+        backend=backend,
+        injector=injector,
+    )
+    try:
+        fresh.reset_superstep(rp.superstep)
+        for pe in sorted(rp.quarantined):
+            fresh.quarantine(pe)
+        fresh_stepper = ExplicitTimeStepper(
+            stiffness, mass, dt, smvp=fresh
+        )
+        fresh_stepper.set_state(rp.u, rp.u_prev, rp.step_index)
+        fresh_stepper.run(steps - rp.step_index, force_at=force_at)
+        diff = np.abs(fresh_stepper.u - u_final)
+        report.survivor_max_abs_diff = float(diff.max())
+        report.survivor_equivalent = bool(
+            np.array_equal(fresh_stepper.u, u_final)
+            and np.array_equal(fresh_stepper.u_prev, u_prev_final)
+        )
+    finally:
+        fresh.close()
+    return report
+
+
+def render_chaos_report(report: ChaosReport) -> List[str]:
+    """Human-readable summary lines for the CLI."""
+    lines = [
+        f"chaos run: {report.instance} x {report.num_steps} steps, "
+        f"{report.num_pes_initial} -> {report.num_pes_final} PEs "
+        f"({report.kernel}/{report.backend})",
+        f"kill schedule: {report.kill_schedule}",
+        f"evictions: {len(report.evictions)}",
+    ]
+    for event in report.evictions:
+        cost_text = (
+            f", modeled cost {event.cost.t_total:.3e} s"
+            if event.cost is not None
+            else ""
+        )
+        lines.append(
+            f"  superstep {event.superstep}: PE {event.dead_pe} "
+            f"({event.num_pes_before} -> {event.num_pes_after} PEs) "
+            f"via {event.recovery_source}; migrated "
+            f"{event.migrated_words} words in {event.migrated_blocks} "
+            f"blocks, repartition {event.repartition_flops} flops in "
+            f"{event.redistribution_waves} waves"
+            f"{cost_text}"
+        )
+        lines.append(
+            f"    schedule: C_max {event.delta.c_max_before} -> "
+            f"{event.delta.c_max_after}, B_max "
+            f"{event.delta.b_max_before} -> {event.delta.b_max_after}, "
+            f"beta {event.delta.beta_before:.3f} -> "
+            f"{event.delta.beta_after:.3f}"
+        )
+    sup = report.supervisor
+    if sup is not None:
+        lines.append(
+            f"retried supersteps: {sup.retried_supersteps}; "
+            f"quarantined PEs: {sup.quarantined or 'none'}"
+        )
+        total_cost = sup.total_reconfiguration_seconds
+        if total_cost is not None:
+            lines.append(
+                f"total migrated words: {sup.total_migrated_words}; "
+                f"total reconfiguration cost: {total_cost:.3e} s"
+            )
+    if report.survivor_equivalent is not None:
+        verdict = "PASS" if report.survivor_equivalent else "FAIL"
+        lines.append(
+            f"survivor equivalence: {verdict} "
+            f"(max |diff| = {report.survivor_max_abs_diff:.3e})"
+        )
+    lines.append(
+        f"final max displacement: {report.final_max_displacement:.6e}"
+    )
+    return lines

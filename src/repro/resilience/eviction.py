@@ -1,0 +1,130 @@
+"""State splicing and migration accounting for online PE eviction.
+
+When a PE is declared permanently dead at the start of superstep
+``k``, the trajectory state is the post-step-``k-1`` pair ``(u,
+u_prev)``.  Every row resident on at least one survivor is intact
+(replicated-shared-node storage); the dead PE's *exclusive* rows come
+from its buddy's shadow segment (:mod:`repro.resilience.shadow`).
+:func:`splice_state` assembles the full state from exactly those two
+sources and refuses to proceed unless they cover every row — a
+coverage hole means data loss and must surface as a typed error, not
+as NaNs a thousand supersteps later.
+
+:func:`migration_plan` prices the reconfiguration for the cost model
+(:func:`repro.simulate.bsp.model_reconfiguration`): the words of
+time-stepper state that must move so every survivor holds its new
+resident rows, and one migration message per receiving survivor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.faults.errors import PermanentFailureError
+from repro.resilience.shadow import STATE_WORDS_PER_NODE, ShadowSegment
+from repro.smvp.distribution import DataDistribution
+
+
+@dataclass(frozen=True)
+class MigrationSummary:
+    """State traffic required by one eviction.
+
+    ``migrated_words`` counts the ``(u, u_prev)`` words survivors must
+    receive for rows newly resident on them; ``migrated_blocks`` is
+    one message per survivor that gains at least one node;
+    ``shadow_words`` is the portion sourced from the buddy's shadow
+    (the dead PE's exclusive rows).
+    """
+
+    dead_pe: int
+    migrated_words: int
+    migrated_blocks: int
+    shadow_words: int
+
+
+def splice_state(
+    old_distribution: DataDistribution,
+    dead_pe: int,
+    u: np.ndarray,
+    u_prev: np.ndarray,
+    shadow_segment: ShadowSegment,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rebuild the full state from survivor rows plus the shadow.
+
+    ``u``/``u_prev`` carry the survivors' view of the post-step state
+    (their resident rows are authoritative; the dead PE's exclusive
+    rows in them are unreachable and ignored).  Returns fresh arrays
+    built only from survivor-resident rows and the shadow segment,
+    verifying the two sources cover every dof exactly.
+    """
+    mesh = old_distribution.mesh
+    n = mesh.num_nodes
+    if u.shape != (3 * n,) or u_prev.shape != (3 * n,):
+        raise ValueError("state vectors must have length 3 * num_nodes")
+    covered = np.zeros(n, dtype=bool)
+    out_u = np.full(3 * n, np.nan)
+    out_prev = np.full(3 * n, np.nan)
+    dof3 = np.arange(3)
+    for pe in range(old_distribution.num_parts):
+        if pe == dead_pe:
+            continue
+        nodes = old_distribution.local_nodes(pe)
+        dofs = (3 * nodes[:, None] + dof3).ravel()
+        out_u[dofs] = u[dofs]
+        out_prev[dofs] = u_prev[dofs]
+        covered[nodes] = True
+    shadow_nodes = old_distribution.exclusive_nodes[dead_pe]
+    if shadow_segment.dofs.size != 3 * shadow_nodes.size:
+        raise PermanentFailureError(
+            f"shadow segment for PE {dead_pe} covers "
+            f"{shadow_segment.dofs.size} dofs, expected "
+            f"{3 * shadow_nodes.size}",
+            pe=dead_pe,
+        )
+    out_u[shadow_segment.dofs] = shadow_segment.u
+    out_prev[shadow_segment.dofs] = shadow_segment.u_prev
+    covered[shadow_nodes] = True
+    if not covered.all():
+        missing = int(np.count_nonzero(~covered))
+        raise PermanentFailureError(
+            f"evicting PE {dead_pe} leaves {missing} node(s) with no "
+            "surviving replica and no shadow — state is unrecoverable",
+            pe=dead_pe,
+        )
+    return out_u, out_prev
+
+
+def migration_plan(
+    old_distribution: DataDistribution,
+    new_distribution: DataDistribution,
+    dead_pe: int,
+    survivor_map: Dict[int, int],
+) -> MigrationSummary:
+    """Price the state movement of one eviction.
+
+    A survivor must receive the state words of every node that is
+    resident on it under the new distribution but was not under the
+    old one (its replicated rows for everything else are already
+    local and correct).
+    """
+    migrated_words = 0
+    migrated_blocks = 0
+    for old_pe, new_pe in sorted(survivor_map.items()):
+        before = old_distribution.local_nodes(old_pe)
+        after = new_distribution.local_nodes(new_pe)
+        gained = np.setdiff1d(after, before, assume_unique=True)
+        if gained.size:
+            migrated_words += STATE_WORDS_PER_NODE * int(gained.size)
+            migrated_blocks += 1
+    shadow_words = 2 * 3 * int(
+        old_distribution.exclusive_nodes[dead_pe].size
+    )
+    return MigrationSummary(
+        dead_pe=dead_pe,
+        migrated_words=migrated_words,
+        migrated_blocks=migrated_blocks,
+        shadow_words=shadow_words,
+    )

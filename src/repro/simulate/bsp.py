@@ -75,6 +75,62 @@ class PhaseTimes(PhaseBreakdown):
     faults: Optional[FaultStats] = None  # injected-fault tally, if any
 
 
+@dataclass(frozen=True)
+class ReconfigurationCost:
+    """Modeled cost of an online eviction/reconfiguration.
+
+    Priced against the same machine vocabulary as Eq. (2): the survivor
+    PEs spend ``repartition_flops`` growing their regions into the dead
+    PE's territory (charged at T_f), then the orphaned element data and
+    newly replicated state rows migrate as ``migrated_blocks`` bulk
+    messages carrying ``migrated_words`` words (charged at
+    ``B T_l + C T_w``).  ``recomputed_supersteps`` counts supersteps
+    replayed after a checkpoint rollback (the shadow-splice path
+    replays none); their cost is modeled separately by re-running the
+    simulator on the survivor schedule.
+    """
+
+    repartition_flops: int
+    migrated_words: int
+    migrated_blocks: int
+    t_repartition: float
+    t_migration: float
+    recomputed_supersteps: int = 0
+
+    @property
+    def t_total(self) -> float:
+        return self.t_repartition + self.t_migration
+
+
+def model_reconfiguration(
+    repartition_flops: int,
+    migrated_words: int,
+    migrated_blocks: int,
+    machine: Machine,
+    recomputed_supersteps: int = 0,
+) -> ReconfigurationCost:
+    """Price one reconfiguration on a (T_f, T_l, T_w) machine.
+
+    ``T_repartition = repartition_flops * T_f`` and ``T_migration =
+    migrated_blocks * T_l + migrated_words * T_w`` — the state
+    migration is one more irregular communication phase, so it takes
+    the Eq. (2) form with the migration traffic in place of the
+    exchange schedule's C/B.
+    """
+    machine.require_comm("the reconfiguration cost model")
+    return ReconfigurationCost(
+        repartition_flops=int(repartition_flops),
+        migrated_words=int(migrated_words),
+        migrated_blocks=int(migrated_blocks),
+        t_repartition=float(repartition_flops) * machine.tf,
+        t_migration=(
+            float(migrated_blocks) * machine.tl
+            + float(migrated_words) * machine.tw
+        ),
+        recomputed_supersteps=int(recomputed_supersteps),
+    )
+
+
 class BspSimulator:
     """Simulate one SMVP on a (T_f, T_l, T_w) machine.
 
@@ -209,11 +265,21 @@ class BspSimulator:
         for msg in self.schedule.messages:
             outcome = injector.transmission_outcome(msg.src, msg.dst, step)
             base = tl + msg.words * tw
+            # Failed attempts are contiguous from attempt 0 (the retry
+            # loop stops at the first success), so the k-th stall takes
+            # the k-th seeded jitter factor for this link and step.
+            jitters = None
+            if outcome.failures and cfg.backoff_jitter > 0.0:
+                jitters = [
+                    injector.backoff_jitter(msg.src, msg.dst, step, k)
+                    for k in range(outcome.failures)
+                ]
             cost = base + retransmit_penalty(
                 base,
                 outcome.failures,
                 cfg.timeout_factor,
                 cfg.backoff_factor,
+                jitters=jitters,
             )
             cost += outcome.duplicates * base
             stats.injected_drops += outcome.drops

@@ -14,6 +14,8 @@ Implements the storage scheme of the paper's Section 2.3 / Figure 3:
 
 from __future__ import annotations
 
+import zlib
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, List, Tuple
 
@@ -65,6 +67,38 @@ class DataDistribution:
     def shared_nodes(self) -> np.ndarray:
         """Global indices of nodes residing on two or more PEs."""
         return np.flatnonzero(self.node_residency >= 2)
+
+    @cached_property
+    def exclusive_nodes(self) -> List[np.ndarray]:
+        """Per-PE sorted global indices of nodes residing *only* there.
+
+        These are the rows whose vector state is unrecoverable from
+        other PEs when a PE dies — the rows the resilience layer's
+        shadow store (or a checkpoint) must cover.
+        """
+        single = self.node_residency == 1
+        return [
+            nodes[single[nodes]] for nodes in self._part_nodes
+        ]
+
+    @cached_property
+    def ownership_hash(self) -> int:
+        """CRC-32 fingerprint of (num_parts, per-node owner).
+
+        The owner of a node is its lowest resident PE — the same rule
+        the executor's gather uses.  Checkpoints embed this hash so a
+        restore onto a different distribution (different PE count, or
+        the same count with different row ownership, e.g. after an
+        eviction) is detected instead of silently mis-splicing.
+        """
+        csr = self.node_parts.tocsr()
+        counts = np.diff(csr.indptr)
+        owner = np.full(self.mesh.num_nodes, -1, dtype=np.int64)
+        resident = counts > 0
+        owner[resident] = csr.indices[csr.indptr[:-1][resident]]
+        return zlib.crc32(
+            np.int64(self.num_parts).tobytes() + owner.tobytes()
+        )
 
     def local_elements(self, part: int) -> np.ndarray:
         """Element indices owned by one PE."""
@@ -186,3 +220,110 @@ class DataDistribution:
             key: np.array(nodes, dtype=np.int64)
             for key, nodes in sorted(out.items())
         }
+
+
+@dataclass(frozen=True)
+class EvictionRedistribution:
+    """How a dead PE's elements were regrown onto the survivors.
+
+    ``survivor_map`` maps old PE ids to the compacted P-1 numbering;
+    ``affinity_flops`` counts the (node, candidate-part) affinity
+    additions the regrowth performed — the work term of the
+    reconfiguration cost model.
+    """
+
+    dead_pe: int
+    orphan_elements: int
+    waves: int
+    affinity_flops: int
+    reseeded_islands: int
+    survivor_map: Dict[int, int]
+
+
+def redistribute_after_eviction(
+    mesh: TetMesh, partition: Partition, dead_pe: int
+) -> Tuple[Partition, EvictionRedistribution]:
+    """Rebuild a P-1 partition after a permanent PE failure.
+
+    The survivors keep every element they already own — their local
+    matrices, kernel states, and checkpointed rows stay valid — and
+    the dead PE's elements are regrown onto them in deterministic BFS
+    waves: each wave assigns every orphan element that touches surviving
+    territory to the survivor sharing the most of its nodes (ties to
+    the lighter, then lower-numbered, PE), exactly the greedy-growing
+    idiom of :mod:`repro.partition.growing` seeded from the survivor
+    layout instead of from scratch.  Orphan islands with no surviving
+    contact (a PE dead in the mesh interior) are reseeded on the
+    least-loaded survivor.  Part numbers are then compacted to
+    ``0 .. P-2`` preserving survivor order.
+    """
+    p = partition.num_parts
+    if not 0 <= dead_pe < p:
+        raise ValueError(f"dead PE {dead_pe} out of range for {p} parts")
+    if p < 2:
+        raise ValueError("cannot evict the last surviving PE")
+    parts = partition.parts.astype(np.int64)
+    orphans = np.flatnonzero(parts == dead_pe)
+    parts = parts.copy()
+    tets = mesh.tets
+    # Node -> part coverage of the *current* assignment, survivors only;
+    # dense (num_nodes, p) bool is fine at eviction frequency.
+    inc = node_part_incidence(mesh, partition).toarray().astype(bool)
+    inc[:, dead_pe] = False
+    loads = np.bincount(parts[parts != dead_pe], minlength=p)
+    survivors = np.array(
+        [q for q in range(p) if q != dead_pe], dtype=np.int64
+    )
+
+    remaining = [int(e) for e in orphans]
+    waves = 0
+    flops = 0
+    islands = 0
+    while remaining:
+        waves += 1
+        assigned: List[Tuple[int, int]] = []
+        next_remaining: List[int] = []
+        for e in remaining:
+            nodes = tets[e]
+            affinity = inc[nodes].sum(axis=0)
+            flops += 4 * p
+            best = int(affinity.max())
+            if best == 0:
+                next_remaining.append(e)
+                continue
+            cand = np.flatnonzero(affinity == best)
+            # Ties: lighter survivor first, then lower PE number.
+            chosen = int(cand[np.lexsort((cand, loads[cand]))[0]])
+            assigned.append((e, chosen))
+        if not assigned:
+            # A disconnected orphan island: reseed its lowest-numbered
+            # element on the least-loaded survivor and keep growing.
+            islands += 1
+            e = next_remaining.pop(0)
+            chosen = int(
+                survivors[np.lexsort((survivors, loads[survivors]))[0]]
+            )
+            assigned.append((e, chosen))
+        # Frontier semantics: updates land after the wave, so the
+        # result does not depend on within-wave iteration order.
+        for e, chosen in assigned:
+            parts[e] = chosen
+            loads[chosen] += 1
+            inc[tets[e], chosen] = True
+        remaining = next_remaining
+
+    remap = np.full(p, -1, dtype=np.int64)
+    remap[survivors] = np.arange(p - 1)
+    new_partition = Partition(
+        remap[parts].astype(np.int32),
+        p - 1,
+        method=f"{partition.method}-evict{dead_pe}",
+    )
+    return new_partition, EvictionRedistribution(
+        dead_pe=dead_pe,
+        orphan_elements=int(len(orphans)),
+        waves=waves,
+        affinity_flops=flops,
+        reseeded_islands=islands,
+        survivor_map={int(q): int(remap[q]) for q in survivors},
+    )

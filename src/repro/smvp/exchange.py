@@ -126,10 +126,21 @@ class FaultMiddleware:
     applied once).  Failed deliveries are retransmitted from the
     sender's still-intact partial, so the summed result is bit-identical
     to the clean transport whenever recovery succeeds.
+
+    ``quarantined`` PEs have their links circuit-broken: blocks
+    touching one are routed over the verified control channel instead
+    of the flaky wire (no fault draws, one clean transmission), the
+    resilience supervisor's intermediate escalation between
+    retry-with-backoff and eviction.
     """
 
-    def __init__(self, injector: FaultInjector) -> None:
+    def __init__(
+        self,
+        injector: FaultInjector,
+        quarantined: Optional[frozenset] = None,
+    ) -> None:
         self.injector = injector
+        self.quarantined = frozenset(quarantined or ())
 
     def make_stats(self) -> FaultStats:
         return FaultStats()
@@ -144,6 +155,11 @@ class FaultMiddleware:
     ) -> np.ndarray:
         injector = self.injector
         src, dst, clean = send.src, send.dst, send.payload
+        if src in self.quarantined or dst in self.quarantined:
+            stats.quarantined_blocks += 1
+            words_sent[src] += clean.size
+            blocks_sent[src] += 1
+            return clean.copy()
         checksum = block_checksum(clean)
         max_attempts = injector.config.max_retries + 1
         for attempt in range(max_attempts):
@@ -174,14 +190,25 @@ class FaultMiddleware:
         raise ExchangeFaultError(
             f"block {src}->{dst} (superstep {step}) failed "
             f"{max_attempts} transmission attempts; raise max_retries or "
-            "lower the fault rates"
+            "lower the fault rates",
+            src=src,
+            dst=dst,
+            step=step,
         )
 
 
-def make_transport(injector: Optional[FaultInjector]):
-    """The transport an executor should use for its current injector."""
+def make_transport(
+    injector: Optional[FaultInjector],
+    quarantined: Optional[frozenset] = None,
+):
+    """The transport an executor should use for its current injector.
+
+    ``quarantined`` PEs (if any) get the circuit-broken verified path
+    through the :class:`FaultMiddleware`; with no enabled injector the
+    clean transport already never faults, so quarantine is moot.
+    """
     if injector is not None and injector.enabled:
-        return FaultMiddleware(injector)
+        return FaultMiddleware(injector, quarantined)
     return CleanTransport()
 
 

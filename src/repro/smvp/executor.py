@@ -105,8 +105,10 @@ class DistributedSMVP:
         self.injector = injector
         self.trace_sink = trace_sink
         self._superstep = 0  # exchange counter; keys the fault streams
+        self._quarantined: frozenset = frozenset()
         self.mesh = mesh
         self.partition = partition
+        self.materials = materials
         self.distribution = DataDistribution(mesh, partition)
         self.schedule = CommSchedule(self.distribution)
         fmt = self.kernel.preferred_format
@@ -194,6 +196,66 @@ class DistributedSMVP:
         """Rewind the exchange counter (reproducible fault histories)."""
         self._superstep = step
 
+    # -- resilience hooks --------------------------------------------------
+
+    @property
+    def quarantined(self) -> frozenset:
+        """PEs whose links are currently circuit-broken."""
+        return self._quarantined
+
+    def quarantine(self, pe: int) -> None:
+        """Circuit-break one PE's links: its exchange blocks take the
+        verified slow path (no fault draws) from the next superstep on.
+
+        Numerically a no-op — the same clean payloads are summed in the
+        same order — so quarantine never perturbs the bit-level result.
+        """
+        if not 0 <= pe < self.num_parts:
+            raise ValueError(f"PE {pe} out of range")
+        self._quarantined = self._quarantined | {pe}
+
+    def unquarantine(self, pe: int) -> None:
+        """Restore a quarantined PE's links to the normal wire."""
+        self._quarantined = self._quarantined - {pe}
+
+    def reconfigure_without(self, dead_pe: int):
+        """Build the P-1 executor that continues after ``dead_pe`` dies.
+
+        Redistributes the dead PE's elements onto the survivors
+        (:func:`~repro.smvp.distribution.redistribute_after_eviction`),
+        reassembles local matrices, and rebuilds the schedule, exchange
+        pairs, and gather maps for the compacted ``0 .. P-2`` numbering.
+        The new executor keeps this one's kernel, backend kind,
+        injector, and trace sink, inherits the superstep counter (the
+        fault history keeps evolving, not restarting), and carries the
+        quarantine set remapped through the survivor map.
+
+        Returns ``(new_executor, redistribution)``; the caller owns
+        closing both executors.
+        """
+        from repro.smvp.distribution import redistribute_after_eviction
+
+        new_partition, redistribution = redistribute_after_eviction(
+            self.mesh, self.partition, dead_pe
+        )
+        new = DistributedSMVP(
+            self.mesh,
+            new_partition,
+            self.materials,
+            kernel=self.kernel,
+            injector=self.injector,
+            backend=self.backend_name,
+            trace_sink=self.trace_sink,
+        )
+        new._superstep = self._superstep
+        new._quarantined = frozenset(
+            redistribution.survivor_map[pe]
+            for pe in self._quarantined
+            if pe in redistribution.survivor_map
+        )
+        count("repro_smvp_reconfigurations_total", dead_pe=dead_pe)
+        return new, redistribution
+
     def flops_per_pe(self) -> np.ndarray:
         """Actual F_i = 2 * nnz of each PE's local matrix."""
         return np.array([2 * k.nnz for k in self.local_matrices], dtype=np.int64)
@@ -231,7 +293,7 @@ class DistributedSMVP:
         if step is None:
             step = self._superstep
         self._superstep = step + 1
-        transport = make_transport(self.injector)
+        transport = make_transport(self.injector, self._quarantined)
         return run_exchange(
             y_locals, self._pairs, transport, step, self.num_parts
         )

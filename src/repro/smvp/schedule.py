@@ -170,3 +170,48 @@ class CommSchedule:
         return int(
             mat[:boundary, boundary:].sum() + mat[boundary:, :boundary].sum()
         )
+
+
+@dataclass(frozen=True)
+class ScheduleDelta:
+    """How the exchange schedule's model quantities moved across a
+    reconfiguration (e.g. a PE eviction).
+
+    Evicting a PE concentrates its rows and its shared-node traffic on
+    the survivors, so ``C_max``/``B_max`` typically *rise* even though
+    a PE left — the delta quantifies that against Eq. (2) and the β
+    bound of :mod:`repro.stats.beta`.
+    """
+
+    num_parts_before: int
+    num_parts_after: int
+    c_max_before: int
+    c_max_after: int
+    b_max_before: int
+    b_max_after: int
+    total_words_before: int
+    total_words_after: int
+    beta_before: float
+    beta_after: float
+
+
+def schedule_delta(
+    before: CommSchedule, after: CommSchedule
+) -> ScheduleDelta:
+    """Summarize the model-quantity shift between two schedules."""
+    # Local import: stats builds on smvp's schedule quantities, so the
+    # module-level direction must stay smvp <- stats.
+    from repro.stats.beta import beta_bound
+
+    return ScheduleDelta(
+        num_parts_before=before.num_parts,
+        num_parts_after=after.num_parts,
+        c_max_before=before.c_max,
+        c_max_after=after.c_max,
+        b_max_before=before.b_max,
+        b_max_after=after.b_max,
+        total_words_before=before.total_words,
+        total_words_after=after.total_words,
+        beta_before=beta_bound(before.words_per_pe, before.blocks_per_pe),
+        beta_after=beta_bound(after.words_per_pe, after.blocks_per_pe),
+    )

@@ -46,6 +46,7 @@ from repro.telemetry.registry import (
     count,
     get_registry,
     observe,
+    record_eviction,
     record_fault_stats,
     set_gauge,
     set_registry,
@@ -79,6 +80,7 @@ __all__ = [
     "get_registry",
     "modeled_breakdown",
     "observe",
+    "record_eviction",
     "record_fault_stats",
     "render_chrome_trace",
     "render_prometheus",

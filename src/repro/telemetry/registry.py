@@ -404,3 +404,39 @@ def record_fault_stats(stats: object, component: str) -> None:
             continue
         if value:
             events.inc(value, kind=field_name, component=component)
+
+
+def record_eviction(event: object) -> None:
+    """Fold one PE-eviction event into the resilience counters.
+
+    Duck-typed like :func:`record_fault_stats` — the telemetry layer
+    never imports :mod:`repro.resilience`.  Expects the attribute shape
+    of ``resilience.EvictionEvent``: ``dead_pe``, ``superstep``,
+    ``migrated_words``, ``migrated_blocks``, ``repartition_flops``,
+    ``recovery_source``.
+    """
+    reg = _REGISTRY
+    if reg is None or event is None:
+        return
+    labels = {
+        "dead_pe": getattr(event, "dead_pe", -1),
+        "source": getattr(event, "recovery_source", "unknown"),
+    }
+    reg.counter(
+        "repro_pe_evictions_total", "permanent PE failures evicted online"
+    ).inc(**labels)
+    reg.counter(
+        "repro_eviction_migrated_words_total",
+        "state words migrated to survivors during evictions",
+    ).inc(getattr(event, "migrated_words", 0), **labels)
+    reg.counter(
+        "repro_eviction_migrated_blocks_total",
+        "state-migration messages during evictions",
+    ).inc(getattr(event, "migrated_blocks", 0), **labels)
+    reg.counter(
+        "repro_eviction_repartition_flops_total",
+        "redistribution work performed during evictions",
+    ).inc(getattr(event, "repartition_flops", 0), **labels)
+    reg.gauge(
+        "repro_eviction_last_superstep", "superstep of the latest eviction"
+    ).set(getattr(event, "superstep", -1))

@@ -1,0 +1,59 @@
+"""Fixture for the no-bare-except rule.
+
+The docstring's mention of `except:` must not trigger anything.
+"""
+
+
+def naked_handler(work):
+    try:
+        return work()
+    except:  # finding: bare except
+        return None
+
+
+def silent_swallow(work):
+    try:
+        return work()
+    except Exception:  # finding: broad + swallowed
+        pass
+
+
+def silent_ellipsis(work):
+    try:
+        return work()
+    except BaseException:  # finding: broad + swallowed
+        ...
+
+
+def swallow_in_loop(items, work):
+    out = []
+    for item in items:
+        try:
+            out.append(work(item))
+        except (ValueError, Exception):  # finding: tuple hides a broad catch
+            continue
+    return out
+
+
+def observed_broad(work, log):
+    # Broad but *observed* — the handler records and re-raises typed.
+    try:
+        return work()
+    except Exception as exc:
+        log.append(exc)
+        raise RuntimeError("work failed") from exc
+
+
+def narrow_swallow(work):
+    # Narrow swallow is allowed: the author named what they expect.
+    try:
+        return work()
+    except KeyError:
+        pass
+
+
+def suppressed_swallow(work):
+    try:
+        return work()
+    except Exception:  # repro-lint: ignore[no-bare-except]
+        pass

@@ -590,3 +590,223 @@ class TestReliabilityTable:
 
         with pytest.raises(SystemExit):
             main_faults(["--smoke", "--machine", "t3d"])
+
+
+class TestBackoffJitter:
+    def test_deterministic_and_bounded(self):
+        inj = FaultInjector(
+            FaultConfig(seed=5, drop_rate=0.1, backoff_jitter=0.2)
+        )
+        draws = [
+            inj.backoff_jitter(0, 1, step=3, attempt=k) for k in range(8)
+        ]
+        again = [
+            inj.backoff_jitter(0, 1, step=3, attempt=k) for k in range(8)
+        ]
+        assert draws == again
+        assert all(0.8 <= j <= 1.2 for j in draws)
+        assert len(set(draws)) > 1  # actually jittered, not constant
+
+    def test_keyed_on_link_step_attempt(self):
+        inj = FaultInjector(
+            FaultConfig(seed=5, drop_rate=0.1, backoff_jitter=0.2)
+        )
+        base = inj.backoff_jitter(0, 1, step=3, attempt=0)
+        assert inj.backoff_jitter(1, 0, step=3, attempt=0) != base
+        assert inj.backoff_jitter(0, 1, step=4, attempt=0) != base
+        assert inj.backoff_jitter(0, 1, step=3, attempt=1) != base
+
+    def test_zero_amplitude_is_exactly_one(self):
+        inj = FaultInjector(FaultConfig(seed=5, drop_rate=0.1))
+        assert FaultConfig().backoff_jitter == 0.1  # documented default
+        inj_off = FaultInjector(
+            FaultConfig(seed=5, drop_rate=0.1, backoff_jitter=0.0)
+        )
+        assert inj_off.backoff_jitter(0, 1) == 1.0
+        assert isinstance(inj.backoff_jitter(0, 1), float)
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            FaultConfig(backoff_jitter=1.0)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            FaultConfig(backoff_jitter=-0.1)
+
+    def test_penalty_with_jitters(self):
+        # Unit jitters reproduce the closed form exactly.
+        plain = retransmit_penalty(1.0, 3, 4.0, 2.0)
+        assert retransmit_penalty(
+            1.0, 3, 4.0, 2.0, jitters=[1.0, 1.0, 1.0]
+        ) == pytest.approx(plain)
+        # Scaled jitters scale only the stalls, not the wire time.
+        jittered = retransmit_penalty(1.0, 2, 4.0, 2.0, jitters=[0.9, 1.1])
+        stalls = 4.0 * 0.9 + 8.0 * 1.1
+        assert jittered == pytest.approx(stalls + 2.0)
+
+    def test_penalty_jitter_length_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            retransmit_penalty(1.0, 3, jitters=[1.0])
+
+    def test_simulator_jitter_keeps_determinism(self, demo_sim_setup):
+        flops, schedule = demo_sim_setup
+        cfg = FaultConfig(seed=9, drop_rate=0.2, backoff_jitter=0.25)
+        times = [
+            BspSimulator(
+                flops,
+                schedule,
+                CRAY_T3E,
+                injector=FaultInjector(cfg),
+            ).run("barrier", step=2).t_smvp
+            for _ in range(2)
+        ]
+        assert times[0] == times[1]
+
+    def test_simulator_jitter_changes_stalls(self, demo_sim_setup):
+        flops, schedule = demo_sim_setup
+        base = FaultConfig(seed=9, drop_rate=0.2, backoff_jitter=0.0)
+        jit = FaultConfig(seed=9, drop_rate=0.2, backoff_jitter=0.25)
+        t_base = BspSimulator(
+            flops, schedule, CRAY_T3E, injector=FaultInjector(base)
+        ).run("barrier", step=2).t_smvp
+        t_jit = BspSimulator(
+            flops, schedule, CRAY_T3E, injector=FaultInjector(jit)
+        ).run("barrier", step=2).t_smvp
+        # Same injected faults (jitter uses its own stream), different
+        # stall durations.
+        assert t_base != t_jit
+        assert t_jit == pytest.approx(t_base, rel=0.5)
+
+
+class TestCheckpointDistributionHeader:
+    @pytest.fixture()
+    def problem(self, demo_mesh, demo_materials, demo_stiffness):
+        mass = assemble_lumped_mass(demo_mesh, demo_materials)
+        dt = stable_timestep(demo_mesh, demo_materials)
+        force = np.zeros(3 * demo_mesh.num_nodes)
+        force[30] = 1e9
+        return demo_stiffness, mass, dt, (lambda t: force)
+
+    def test_header_roundtrip(self, problem, demo_mesh, tmp_path):
+        stiffness, mass, dt, force_at = problem
+        dist = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 6))
+        stepper = ExplicitTimeStepper(stiffness, mass, dt)
+        stepper.run(4, force_at=force_at)
+        manager = CheckpointManager(tmp_path, interval=1)
+        manager.save(stepper, distribution=dist)
+        ck = manager.latest()
+        assert ck.num_pes == 6
+        assert ck.ownership_hash == dist.ownership_hash
+        assert ck.matches(dist)
+        resumed = ExplicitTimeStepper(stiffness, mass, dt)
+        ck.restore(resumed, distribution=dist)
+        assert np.array_equal(resumed.u, stepper.u)
+
+    def test_mismatched_distribution_rejected(
+        self, problem, demo_mesh, tmp_path
+    ):
+        from repro.faults import CheckpointCompatibilityError
+
+        stiffness, mass, dt, force_at = problem
+        dist6 = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 6))
+        dist4 = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 4))
+        stepper = ExplicitTimeStepper(stiffness, mass, dt)
+        stepper.run(2, force_at=force_at)
+        manager = CheckpointManager(tmp_path, interval=1)
+        manager.save(stepper, distribution=dist6)
+        ck = manager.latest()
+        assert not ck.matches(dist4)
+        fresh = ExplicitTimeStepper(stiffness, mass, dt)
+        with pytest.raises(CheckpointCompatibilityError, match="6 PEs"):
+            ck.restore(fresh, distribution=dist4)
+        # The compatibility error is still a CheckpointError.
+        with pytest.raises(CheckpointError):
+            ck.restore(fresh, distribution=dist4)
+
+    def test_headerless_checkpoint_matches_anything(
+        self, problem, demo_mesh, tmp_path
+    ):
+        stiffness, mass, dt, force_at = problem
+        stepper = ExplicitTimeStepper(stiffness, mass, dt)
+        stepper.run(2, force_at=force_at)
+        manager = CheckpointManager(tmp_path, interval=1)
+        manager.save(stepper)  # no distribution: sequential run
+        ck = manager.latest()
+        assert ck.num_pes is None
+        dist = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 4))
+        assert ck.matches(dist)
+        fresh = ExplicitTimeStepper(stiffness, mass, dt)
+        ck.restore(fresh, distribution=dist)  # nothing to contradict
+
+    def test_ownership_hash_distinguishes_layouts(self, demo_mesh):
+        d6a = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 6))
+        d6b = DataDistribution(
+            demo_mesh, partition_mesh(demo_mesh, 6, method="random", seed=3)
+        )
+        d4 = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 4))
+        assert d6a.ownership_hash == DataDistribution(
+            demo_mesh, partition_mesh(demo_mesh, 6)
+        ).ownership_hash
+        assert d6a.ownership_hash != d6b.ownership_hash
+        assert d6a.ownership_hash != d4.ownership_hash
+
+
+class TestQuarantinedTransport:
+    def test_quarantined_blocks_bypass_injection(
+        self, demo_mesh, demo_materials, demo_stiffness
+    ):
+        # A rate that *would* fail PE 0's links without quarantine.
+        cfg = FaultConfig(seed=11, drop_rate=0.9, max_retries=1)
+        clean = DistributedSMVP(demo_mesh, partition_mesh(demo_mesh, 4), demo_materials)
+        faulty = DistributedSMVP(
+            demo_mesh,
+            partition_mesh(demo_mesh, 4),
+            demo_materials,
+            injector=FaultInjector(cfg),
+        )
+        for pe in range(4):
+            faulty.quarantine(pe)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(3 * demo_mesh.num_nodes)
+        try:
+            y_clean = clean.multiply(x)
+            y_faulty = faulty.multiply(x)
+        finally:
+            clean.close()
+            faulty.close()
+        # All links quarantined: every block takes the verified path,
+        # bit-identical to the clean transport.
+        assert np.array_equal(y_clean, y_faulty)
+
+    def test_quarantine_counted_in_stats(
+        self, demo_mesh, demo_materials
+    ):
+        cfg = FaultConfig(seed=11, drop_rate=0.05)
+        smvp = DistributedSMVP(
+            demo_mesh,
+            partition_mesh(demo_mesh, 4),
+            demo_materials,
+            injector=FaultInjector(cfg),
+        )
+        smvp.quarantine(1)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(3 * demo_mesh.num_nodes)
+        try:
+            x_locals = smvp.scatter(x)
+            y_locals = smvp.compute_phase(x_locals)
+            _, record = smvp.communication_phase(y_locals)
+        finally:
+            smvp.close()
+        assert record.faults.quarantined_blocks > 0
+
+    def test_quarantine_validates_pe(self, demo_mesh, demo_materials):
+        smvp = DistributedSMVP(
+            demo_mesh, partition_mesh(demo_mesh, 4), demo_materials
+        )
+        try:
+            with pytest.raises(ValueError):
+                smvp.quarantine(4)
+            smvp.quarantine(2)
+            assert smvp.quarantined == frozenset({2})
+            smvp.unquarantine(2)
+            assert smvp.quarantined == frozenset()
+        finally:
+            smvp.close()

@@ -91,6 +91,28 @@ class TestFixtureDetection:
         assert lint_paths([str(cli_py)], rules=["no-print"]) == []
         assert lint_paths([str(tables_dir)], rules=["no-print"]) == []
 
+    def test_no_bare_except_rule(self, fixture_findings):
+        hits = [
+            f for f in fixture_findings if "swallowed_exceptions" in f.path
+        ]
+        assert {f.rule for f in hits} == {"no-bare-except"}
+        # Bare except, two silent broads, one tuple-hidden broad; the
+        # observed/narrow/pragma'd handlers stay clean.
+        assert sorted(f.line for f in hits) == [10, 17, 24, 33]
+        messages = " ".join(f.message for f in hits)
+        assert "bare `except:`" in messages
+        assert "silently swallows" in messages
+
+    def test_no_bare_except_exempts_cli_and_observed_handlers(self):
+        cli_py = SRC / "repro" / "cli.py"
+        assert lint_paths([str(cli_py)], rules=["no-bare-except"]) == []
+        # Broad handlers that re-raise typed errors (checkpoint loader)
+        # are not swallows and must stay clean.
+        recovery_py = SRC / "repro" / "faults" / "recovery.py"
+        assert (
+            lint_paths([str(recovery_py)], rules=["no-bare-except"]) == []
+        )
+
     def test_bad_schedule_rejected(self, fixture_findings):
         bad = [f for f in fixture_findings if "bad_schedule" in f.path]
         assert bad and {f.rule for f in bad} == {"schedule-invariant"}
