@@ -1042,6 +1042,36 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         default=0.0,
         help="transient link-fault rate riding along with the kills",
     )
+    parser.add_argument(
+        "--flip",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "silent-data-corruption rate: per PE per superstep, flip a "
+            "high-order bit in the local input/output vectors at RATE "
+            "and in the assembled matrix block at RATE/2; implies ABFT "
+            "verification, and the exit code demands every flip "
+            "detected, blamed, and healed bit-exactly"
+        ),
+    )
+    parser.add_argument(
+        "--sticky",
+        default=None,
+        metavar="PE[,PE...]",
+        help=(
+            "physical PE ids with a bad core: their kernel output is "
+            "corrupted on every compute (recovery recomputes included), "
+            "so the run must escalate them to eviction"
+        ),
+    )
+    parser.add_argument(
+        "--sticky-from",
+        type=int,
+        default=0,
+        metavar="STEP",
+        help="first superstep at which sticky PEs start corrupting",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--checkpoint-dir",
@@ -1080,12 +1110,31 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         instance, pes, steps = "demo", 6, 10
     else:
         instance, pes, steps = args.instance, args.pes, args.steps
+    sticky: tuple = ()
+    if args.sticky:
+        try:
+            sticky = tuple(
+                int(token) for token in args.sticky.split(",") if token.strip()
+            )
+        except ValueError:
+            parser.error(f"bad --sticky list {args.sticky!r}")
+        for pe in sticky:
+            if not 0 <= pe < pes:
+                parser.error(
+                    f"--sticky targets PE {pe}, but only {pes} PEs exist"
+                )
+    if args.flip < 0 or args.flip > 0.4:
+        parser.error("--flip must be in [0, 0.4]")
+    sdc_configured = args.flip > 0 or bool(sticky)
     try:
-        kills = (
-            KillSchedule.parse(args.kill)
-            if args.kill
-            else KillSchedule.random(args.seed, pes, steps, args.kills)
-        )
+        if args.kill:
+            kills = KillSchedule.parse(args.kill)
+        elif sdc_configured:
+            # SDC runs stand alone by default: no permanent kills, the
+            # corruption ladder supplies any evictions.
+            kills = KillSchedule(())
+        else:
+            kills = KillSchedule.random(args.seed, pes, steps, args.kills)
     except ValueError as exc:
         parser.error(str(exc))
     for _, pe in kills.kills:
@@ -1109,6 +1158,9 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         verify=not args.no_verify,
+        flip_rate=args.flip,
+        sticky=sticky,
+        sticky_from=args.sticky_from,
     )
     if args.json:
         payload = {
@@ -1141,12 +1193,38 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
             "survivor_equivalent": report.survivor_equivalent,
             "survivor_max_abs_diff": report.survivor_max_abs_diff,
             "final_max_displacement": report.final_max_displacement,
+            "abft": report.abft,
+            "sdc_injected": report.sdc_injected,
+            "sdc_detected": report.sdc_detected,
+            "sdc_recomputed": report.sdc_recomputed,
+            "sdc_scrubbed": report.sdc_scrubbed,
+            "sdc_escaped": report.sdc_escaped,
+            "sdc_all_detected": report.sdc_all_detected,
+            "sdc_blame_correct": report.sdc_blame_correct,
+            "clean_equivalent": report.clean_equivalent,
+            "clean_max_abs_diff": report.clean_max_abs_diff,
+            "sticky_evicted": report.sticky_evicted,
+            "passed": report.passed,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for line in render_chaos_report(report):
             print(line)
-    if report.survivor_equivalent is False:
-        print("CHAOS FAILURE: survivor equivalence broken", file=sys.stderr)
+    if not report.passed:
+        failed = [
+            name
+            for name, gate in (
+                ("survivor equivalence", report.survivor_equivalent),
+                ("all SDC detected", report.sdc_all_detected),
+                ("SDC blame attribution", report.sdc_blame_correct),
+                ("fault-free bit-equivalence", report.clean_equivalent),
+                ("sticky PEs evicted", report.sticky_evicted),
+            )
+            if gate is False
+        ]
+        print(
+            f"CHAOS FAILURE: {'; '.join(failed) or 'gate'} broken",
+            file=sys.stderr,
+        )
         return 1
     return 0

@@ -39,10 +39,13 @@ from repro.faults.errors import (
     FaultError,
     NumericalFaultError,
     PermanentFailureError,
+    RecoveryDeadlineError,
+    SdcFaultError,
 )
 from repro.faults.injector import (
     BlockFault,
     FaultInjector,
+    SdcTarget,
     TransmissionOutcome,
 )
 from repro.faults.recovery import (
@@ -64,6 +67,9 @@ __all__ = [
     "FaultStats",
     "NumericalFaultError",
     "PermanentFailureError",
+    "RecoveryDeadlineError",
+    "SdcFaultError",
+    "SdcTarget",
     "TransmissionOutcome",
     "block_checksum",
     "check_finite",

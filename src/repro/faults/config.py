@@ -17,6 +17,16 @@ a run should experience:
   probability ``pe_failure_rate`` and restarts from its last state,
   recomputing the step (its compute time doubles) plus a fixed restart
   penalty in simulated seconds.
+* **Silent data corruption (SDC)** — per PE per superstep, a bit flips
+  in *memory or compute* rather than in flight: in the local input
+  vector x (``flip_x_rate``), the local kernel output y
+  (``flip_y_rate``), or the assembled local stiffness block K
+  (``flip_k_rate``; persistent until scrubbed).  ``sticky_pes`` models
+  a bad DIMM/core: those PEs re-corrupt their kernel output on *every*
+  compute, including recovery recomputes, so inline healing fails and
+  the resilience ladder must escalate.  CRC-32 never sees these —
+  they happen outside the wire — which is exactly why the ABFT
+  checksum checks in :mod:`repro.smvp.abft` exist.
 
 All draws are derived from ``seed`` via counter-based streams keyed on
 (domain, step, PE/pair, attempt) — see :mod:`repro.faults.injector` —
@@ -27,6 +37,7 @@ which the simulator or executor asks questions.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -56,6 +67,22 @@ class FaultConfig:
     timeout_factor: float = 4.0
     #: Backoff multiplier applied to the timeout on successive retries.
     backoff_factor: float = 2.0
+    #: Per PE per superstep: probability of a bit-flip in the local
+    #: input vector x after scatter (memory corruption on the way in).
+    flip_x_rate: float = 0.0
+    #: Per PE per superstep: probability of a bit-flip in the local
+    #: kernel output y (a compute/register fault).
+    flip_y_rate: float = 0.0
+    #: Per PE per superstep: probability of a bit-flip in the local
+    #: assembled stiffness block K.  Matrix corruption is *persistent*:
+    #: it keeps poisoning every product until the word is scrubbed.
+    flip_k_rate: float = 0.0
+    #: Physical PE ids whose kernel output is corrupted on *every*
+    #: compute from ``sticky_from_step`` on — the bad-DIMM/bad-core
+    #: model that defeats inline recompute and forces escalation.
+    sticky_pes: Tuple[int, ...] = ()
+    #: First superstep at which the sticky PEs start corrupting.
+    sticky_from_step: int = 0
     #: Fractional jitter amplitude on each retry timeout: every stall is
     #: scaled by a factor in ``[1 - a, 1 + a)`` drawn deterministically
     #: from ``seed`` keyed on (step, src, dst, attempt), so reliability
@@ -70,12 +97,26 @@ class FaultConfig:
             "bitflip_rate",
             "duplicate_rate",
             "pe_failure_rate",
+            "flip_x_rate",
+            "flip_y_rate",
+            "flip_k_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         if self.drop_rate + self.bitflip_rate + self.duplicate_rate > 1.0:
             raise ValueError("block fault rates must sum to at most 1")
+        if self.flip_x_rate + self.flip_y_rate + self.flip_k_rate > 1.0:
+            raise ValueError("SDC flip rates must sum to at most 1")
+        object.__setattr__(
+            self, "sticky_pes", tuple(int(pe) for pe in self.sticky_pes)
+        )
+        if any(pe < 0 for pe in self.sticky_pes):
+            raise ValueError("sticky_pes must be non-negative PE ids")
+        if len(set(self.sticky_pes)) != len(self.sticky_pes):
+            raise ValueError("sticky_pes must be distinct")
+        if self.sticky_from_step < 0:
+            raise ValueError("sticky_from_step must be non-negative")
         if self.straggler_mean_slowdown < 0:
             raise ValueError("straggler_mean_slowdown must be non-negative")
         if self.pe_restart_penalty < 0:
@@ -98,6 +139,28 @@ class FaultConfig:
             or self.bitflip_rate > 0
             or self.duplicate_rate > 0
             or self.pe_failure_rate > 0
+            or self.sdc_enabled
+        )
+
+    @property
+    def comm_enabled(self) -> bool:
+        """Whether any *in-flight* block fault can occur (the faults the
+        exchange middleware's CRC + retransmit protocol handles)."""
+        return (
+            self.drop_rate > 0
+            or self.bitflip_rate > 0
+            or self.duplicate_rate > 0
+        )
+
+    @property
+    def sdc_enabled(self) -> bool:
+        """Whether any memory/compute corruption can occur (the faults
+        only the ABFT checks in :mod:`repro.smvp.abft` can see)."""
+        return (
+            self.flip_x_rate > 0
+            or self.flip_y_rate > 0
+            or self.flip_k_rate > 0
+            or bool(self.sticky_pes)
         )
 
     @classmethod
@@ -110,9 +173,10 @@ class FaultConfig:
         """One-knob config used by the reliability sweep.
 
         ``rate`` drives the dominant failure modes directly (stragglers
-        and drops), with corruption/duplication at half and transient PE
-        crashes at a tenth of it — roughly the relative frequencies
-        reported for production clusters.
+        and drops), with corruption/duplication at half, silent
+        memory/compute flips at a fifth (x and y) and a tenth (K), and
+        transient PE crashes at a tenth of it — roughly the relative
+        frequencies reported for production clusters.
         """
         if not 0.0 <= rate <= 0.5:
             raise ValueError("uniform rate must be in [0, 0.5]")
@@ -123,6 +187,9 @@ class FaultConfig:
             bitflip_rate=rate / 2.0,
             duplicate_rate=rate / 2.0,
             pe_failure_rate=rate / 10.0,
+            flip_x_rate=rate / 5.0,
+            flip_y_rate=rate / 5.0,
+            flip_k_rate=rate / 10.0,
         )
 
     def with_seed(self, seed: int) -> "FaultConfig":

@@ -58,6 +58,19 @@ class FaultStats:
     #: links are circuit-broken (see the resilience supervisor's
     #: quarantine escalation); they bypass injection entirely.
     quarantined_blocks: int = 0
+    #: Silent data corruptions: bit-flips injected into local memory or
+    #: compute (x, y, or K) — invisible to the wire CRC by definition.
+    injected_sdc: int = 0
+    #: SDC occurrences caught by an ABFT checksum / input CRC check.
+    detected_sdc: int = 0
+    #: Inline per-PE superstep recomputes performed to heal an SDC.
+    recomputed_sdc: int = 0
+    #: Persistent matrix-corruption records scrubbed from the
+    #: authoritative local block after detection.
+    repaired_blocks: int = 0
+    #: Injected SDCs that no check caught before the superstep
+    #: committed (only possible with ABFT disabled).
+    escaped_sdc: int = 0
 
     @property
     def any_injected(self) -> bool:
@@ -67,7 +80,13 @@ class FaultStats:
             or self.injected_duplicates
             or self.straggler_events
             or self.pe_failures
+            or self.injected_sdc
         )
+
+    @property
+    def sdc_contained(self) -> bool:
+        """No silent corruption committed undetected."""
+        return self.escaped_sdc == 0
 
     def fully_recovered(self) -> bool:
         """Every injected communication fault was detected and handled."""
@@ -89,14 +108,29 @@ class FaultStats:
         )
 
 
-def check_finite(state: np.ndarray, context: str = "state") -> None:
-    """Raise :class:`NumericalFaultError` if the array has NaN/Inf."""
+def check_finite(
+    state: np.ndarray,
+    context: str = "state",
+    pe: "int | None" = None,
+    step: "int | None" = None,
+    phase: "str | None" = None,
+) -> None:
+    """Raise :class:`NumericalFaultError` if the array has NaN/Inf.
+
+    ``pe``/``step``/``phase`` attach blame context to the error payload
+    (see :meth:`NumericalFaultError.blame`) so supervisor logs and
+    chaos reports can print actionable lines.
+    """
     if not np.all(np.isfinite(state)):
         bad = int(np.count_nonzero(~np.isfinite(state)))
-        raise NumericalFaultError(
+        err = NumericalFaultError(
             f"{context} contains {bad} non-finite value(s) "
-            f"out of {state.size}"
+            f"out of {state.size}",
+            pe=pe,
+            step=step,
+            phase=phase,
         )
+        raise err
 
 
 def residual_relative_error(
@@ -113,14 +147,22 @@ def verify_residual(
     reference: np.ndarray,
     tol: float = 1e-9,
     context: str = "SMVP",
+    pe: "int | None" = None,
+    step: "int | None" = None,
+    phase: "str | None" = None,
 ) -> float:
     """End-to-end residual check; raises on excessive error.
 
-    Returns the relative error so callers can log it.
+    Returns the relative error so callers can log it.  Optional
+    ``pe``/``step``/``phase`` ride on the error payload as the blamed
+    context.
     """
     err = residual_relative_error(computed, reference)
     if not err <= tol:  # NaN-safe: NaN comparisons are False
         raise NumericalFaultError(
-            f"{context} residual {err:.3e} exceeds tolerance {tol:.1e}"
+            f"{context} residual {err:.3e} exceeds tolerance {tol:.1e}",
+            pe=pe,
+            step=step,
+            phase=phase,
         )
     return err

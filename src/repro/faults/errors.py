@@ -33,7 +33,81 @@ class ExchangeFaultError(FaultError):
 
 
 class NumericalFaultError(FaultError):
-    """A computed state contains NaN/Inf or fails a residual check."""
+    """A computed state contains NaN/Inf or fails a residual check.
+
+    Carries the blamed context — PE, superstep, and phase — when the
+    detecting layer knows it, so supervisor logs and chaos reports can
+    print actionable blame lines instead of a bare message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pe: "int | None" = None,
+        step: "int | None" = None,
+        phase: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.pe = pe
+        self.step = step
+        self.phase = phase
+
+    def blame(self) -> str:
+        """One-line blame summary from whatever context is attached."""
+        parts = []
+        if self.pe is not None:
+            parts.append(f"PE {self.pe}")
+        if self.step is not None:
+            parts.append(f"superstep {self.step}")
+        if self.phase is not None:
+            parts.append(f"phase {self.phase}")
+        return ", ".join(parts) if parts else "unattributed"
+
+
+class SdcFaultError(FaultError):
+    """Silent data corruption that inline ABFT recovery could not heal.
+
+    Raised by the executor's checksum verification when recomputing the
+    blamed PE's superstep keeps failing (the sticky bad-DIMM/bad-core
+    model).  Carries the blamed PE (current numbering), superstep, and
+    phase (``"input"`` / ``"compute"`` / ``"exchange"``) so the
+    resilience supervisor can escalate against the right PE directly —
+    no link-endpoint ambiguity as with :class:`ExchangeFaultError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pe: "int | None" = None,
+        step: "int | None" = None,
+        phase: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.pe = pe
+        self.step = step
+        self.phase = phase
+
+
+class RecoveryDeadlineError(FaultError):
+    """The run's total recovery effort exceeded its superstep budget.
+
+    Raised by the resilience supervisor when the cumulative count of
+    retried supersteps passes ``RecoveryPolicy.recovery_budget`` — a
+    clock-free escalation deadline that turns "every PE is flaky, retry
+    forever" into a typed, reportable failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: "int | None" = None,
+        retried: "int | None" = None,
+        step: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.retried = retried
+        self.step = step
 
 
 class CheckpointError(FaultError):

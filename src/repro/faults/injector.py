@@ -43,6 +43,8 @@ _DOMAIN_PE_FAIL = 3
 _DOMAIN_BLOCK = 4
 _DOMAIN_CORRUPT = 5
 _DOMAIN_JITTER = 6
+_DOMAIN_SDC = 7
+_DOMAIN_SDC_SITE = 8
 
 
 class BlockFault(enum.Enum):
@@ -52,6 +54,15 @@ class BlockFault(enum.Enum):
     DROP = "drop"
     BITFLIP = "bitflip"
     DUPLICATE = "duplicate"
+
+
+class SdcTarget(enum.Enum):
+    """Where a PE's silent data corruption strikes this superstep."""
+
+    NONE = "none"
+    INPUT = "input"  # the local x vector, after scatter
+    OUTPUT = "output"  # the local kernel product y
+    MATRIX = "matrix"  # the assembled local stiffness block K
 
 
 def _uniform(seed: int, domain: int, *key: int) -> float:
@@ -96,6 +107,101 @@ class FaultInjector:
         if cfg.pe_failure_rate <= 0:
             return False
         return _uniform(cfg.seed, _DOMAIN_PE_FAIL, step, pe) < cfg.pe_failure_rate
+
+    # -- silent data corruption (memory/compute faults) --------------------
+
+    @property
+    def comm_enabled(self) -> bool:
+        """Whether any in-flight block fault can occur."""
+        return self.config.comm_enabled
+
+    @property
+    def sdc_enabled(self) -> bool:
+        """Whether any memory/compute corruption can occur."""
+        return self.config.sdc_enabled
+
+    def sdc_target(self, pe: int, step: int = 0) -> SdcTarget:
+        """Which local array (if any) a *transient* flip strikes on this
+        PE this superstep.  Keyed on the PE's physical id so the draw
+        survives eviction renumbering."""
+        cfg = self.config
+        if cfg.flip_x_rate <= 0 and cfg.flip_y_rate <= 0 and cfg.flip_k_rate <= 0:
+            return SdcTarget.NONE
+        u = _uniform(cfg.seed, _DOMAIN_SDC, step, pe)
+        if u < cfg.flip_x_rate:
+            return SdcTarget.INPUT
+        u -= cfg.flip_x_rate
+        if u < cfg.flip_y_rate:
+            return SdcTarget.OUTPUT
+        u -= cfg.flip_y_rate
+        if u < cfg.flip_k_rate:
+            return SdcTarget.MATRIX
+        return SdcTarget.NONE
+
+    def sticky(self, pe: int, step: int = 0) -> bool:
+        """Whether this (physical) PE's bad core corrupts its output on
+        every compute — main path *and* recovery recomputes."""
+        cfg = self.config
+        return pe in cfg.sticky_pes and step >= cfg.sticky_from_step
+
+    def sdc_site(
+        self,
+        values: np.ndarray,
+        pe: int,
+        step: int = 0,
+        salt: int = 0,
+        attempt: int = 0,
+    ) -> Tuple[int, int]:
+        """Pick the (word, bit) an SDC flip strikes in ``values``.
+
+        The word is drawn among entries within three decades of the
+        array's peak magnitude and the bit among the exponent/sign bits
+        (52..63), so the induced error is at least half the entry's
+        magnitude — orders of magnitude above the ABFT rounding
+        tolerance.  A flip below that tolerance is numerically
+        indistinguishable from legitimate rounding, so the interesting
+        (and detectable) fault model is exactly the high-order flips.
+        ``salt`` separates the input/output/matrix streams; ``attempt``
+        separates a sticky PE's re-corruptions during recovery.
+        """
+        mags = np.abs(values)
+        peak = float(mags.max()) if values.size else 0.0
+        candidates = np.flatnonzero(mags >= peak / 1024.0)
+        word_state, bit_state = _states(
+            self.config.seed, _DOMAIN_SDC_SITE, step, pe, salt, attempt
+        )
+        word = int(candidates[int(word_state % np.uint64(len(candidates)))])
+        # A zero word's sign bit is the one no-op flip (0.0 -> -0.0);
+        # exclude it so every injected flip has a nonzero numeric
+        # effect.  Any exponent-bit flip of a zero conjures a nonzero
+        # value, so zero words stay in the fault model.
+        span = 12 if values.reshape(-1)[word] != 0.0 else 11
+        bit = 52 + int(bit_state % np.uint64(span))
+        return word, bit
+
+    def flip_sdc(
+        self,
+        array: np.ndarray,
+        pe: int,
+        step: int = 0,
+        salt: int = 0,
+        attempt: int = 0,
+    ) -> Tuple[int, int, float, float]:
+        """Flip one high-order bit of ``array`` in place.
+
+        Returns ``(word, bit, old_value, new_value)`` — the executor
+        records these for persistent matrix corruption so every backend
+        observes the same poisoned product without mutating the
+        backends' private prepared states.
+        """
+        flat = array.reshape(-1)
+        if flat.size == 0:
+            return (0, 0, 0.0, 0.0)
+        word, bit = self.sdc_site(flat, pe, step, salt, attempt)
+        bits = flat.view(np.uint64)
+        old = float(flat[word])
+        bits[word] ^= np.uint64(1) << np.uint64(bit)
+        return (word, bit, old, float(flat[word]))
 
     # -- communication-phase faults ---------------------------------------
 

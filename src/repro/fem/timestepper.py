@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.faults.detection import check_finite as _check_finite
+from repro.faults.errors import NumericalFaultError
 from repro.fem.material import ElementMaterials
 from repro.geometry import tet_shortest_edges
 from repro.mesh.core import TetMesh
@@ -79,6 +80,15 @@ class ExplicitTimeStepper:
         :class:`~repro.faults.NumericalFaultError` pinpoints the step a
         blow-up (or an undetected corrupt exchange) first appeared.
         Off by default — the guard costs one pass over the state.
+    guard_growth:
+        Optional per-step growth bound: raise a
+        :class:`~repro.faults.NumericalFaultError` when the new state's
+        peak magnitude exceeds ``guard_growth`` times the previous
+        peak.  An escaped exponent-bit corruption multiplies a dof by
+        ~2^k, which no legitimate explicit step under the CFL bound
+        does — this is the cheap timestepper-level invariant backing up
+        the per-superstep ABFT checks.  The guard only engages once the
+        state is nonzero (a cold start legitimately grows from zero).
     """
 
     def __init__(
@@ -89,6 +99,7 @@ class ExplicitTimeStepper:
         damping_alpha=0.0,
         smvp: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         check_finite: bool = False,
+        guard_growth: Optional[float] = None,
     ) -> None:
         mass = np.asarray(mass, dtype=np.float64)
         if stiffness.shape[0] != stiffness.shape[1]:
@@ -113,6 +124,9 @@ class ExplicitTimeStepper:
         self.damping_alpha = damping
         self._smvp = smvp if smvp is not None else (lambda x: self.stiffness @ x)
         self.check_finite = bool(check_finite)
+        if guard_growth is not None and guard_growth <= 1.0:
+            raise ValueError("guard_growth must exceed 1.0")
+        self.guard_growth = guard_growth
         n = stiffness.shape[0]
         self.u = np.zeros(n)
         self.u_prev = np.zeros(n)
@@ -170,7 +184,25 @@ class ExplicitTimeStepper:
             2.0 * self.u - (1.0 - half) * self.u_prev + dt * dt * accel
         ) / (1.0 + half)
         if self.check_finite:
-            _check_finite(u_next, f"displacement at step {self.step_index + 1}")
+            _check_finite(
+                u_next,
+                f"displacement at step {self.step_index + 1}",
+                step=self.step_index + 1,
+                phase="timestep",
+            )
+        if self.guard_growth is not None:
+            prev_peak = max(
+                float(np.abs(self.u).max()), float(np.abs(self.u_prev).max())
+            )
+            peak = float(np.abs(u_next).max())
+            if prev_peak > 0.0 and peak > self.guard_growth * prev_peak:
+                raise NumericalFaultError(
+                    f"displacement grew {peak / prev_peak:.1f}x in one "
+                    f"step (bound {self.guard_growth:.1f}x) — likely an "
+                    "escaped corruption",
+                    step=self.step_index + 1,
+                    phase="timestep",
+                )
         self.u_prev = self.u
         self.u = u_next
         self.step_index += 1

@@ -111,10 +111,48 @@ class ChaosReport:
     survivor_equivalent: Optional[bool] = None
     survivor_max_abs_diff: Optional[float] = None
     final_max_displacement: float = 0.0
+    #: Whether the run's executors carried ABFT checksum verification.
+    abft: bool = False
+    # SDC tallies from the executor's cumulative FaultStats.
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+    sdc_recomputed: int = 0
+    sdc_scrubbed: int = 0
+    sdc_escaped: int = 0
+    #: Every injected SDC produced a detection (and none escaped).
+    sdc_all_detected: Optional[bool] = None
+    #: Every detection was blamed to a (superstep, physical PE) that
+    #: really had an injection — no false accusations.
+    sdc_blame_correct: Optional[bool] = None
+    #: No-eviction SDC runs only: the healed final state is bit-equal
+    #: to a fault-free reference run of the same configuration.
+    clean_equivalent: Optional[bool] = None
+    clean_max_abs_diff: Optional[float] = None
+    #: Sticky (bad-core) PEs all ended the run evicted.
+    sticky_evicted: Optional[bool] = None
 
     @property
     def evictions(self) -> List[EvictionEvent]:
         return self.supervisor.evictions if self.supervisor else []
+
+    @property
+    def passed(self) -> bool:
+        """Every gate that applied to this run held.
+
+        Gates are ``None`` when they did not apply (e.g. no clean
+        reference on an eviction run); a run with no applicable gate —
+        ``verify=False`` and no SDC — passes vacuously.
+        """
+        gates = [
+            self.survivor_equivalent,
+            self.sdc_all_detected,
+            self.sdc_blame_correct,
+            self.clean_equivalent,
+            self.sticky_evicted,
+        ]
+        return all(g for g in gates if g is not None) if any(
+            g is not None for g in gates
+        ) else True
 
 
 def run_chaos(
@@ -131,6 +169,10 @@ def run_chaos(
     checkpoint_dir=None,
     checkpoint_interval: int = 10,
     verify: bool = True,
+    flip_rate: float = 0.0,
+    sticky: Tuple[int, ...] = (),
+    sticky_from: int = 0,
+    abft: Optional[bool] = None,
 ) -> ChaosReport:
     """Run a supervised simulation under a kill schedule and verify.
 
@@ -139,6 +181,22 @@ def run_chaos(
     seed, same exchange counter, same quarantine set — steps it to the
     end, and demands exact (bit-level) agreement with the supervised
     run's final ``(u, u_prev)``.
+
+    ``flip_rate`` turns on silent data corruption: per PE per
+    superstep, bits flip in the local input vector and kernel output at
+    that rate and in the assembled stiffness block at half of it (so
+    ``flip_rate`` must be at most 0.4).  ``sticky`` names physical PE
+    ids that corrupt *every* kernel output from ``sticky_from`` on —
+    the bad-core model that defeats inline recompute and must be
+    escalated through quarantine to eviction.  Either implies ABFT
+    verification on every executor (override with ``abft``); when no
+    kill schedule is given, SDC runs default to an *empty* one so the
+    corruption story stands alone.
+
+    SDC runs add gates beyond survivor equivalence: every injection
+    detected and blamed to the right (superstep, physical PE), nothing
+    escaped, and — when no eviction reshaped the partition — the healed
+    final state bit-identical to a fault-free reference run.
     """
     from repro.faults import CheckpointManager, FaultConfig, FaultInjector
     from repro.fem import (
@@ -153,8 +211,22 @@ def run_chaos(
     from repro.partition.base import Partition, partition_mesh
     from repro.smvp.executor import DistributedSMVP
 
+    sticky = tuple(int(pe) for pe in sticky)
+    sdc_configured = flip_rate > 0 or bool(sticky)
+    if any(not 0 <= pe < pes for pe in sticky):
+        raise ValueError(
+            f"sticky PEs must be in [0, {pes}), got {sticky}"
+        )
     if kills is None:
-        kills = KillSchedule.random(seed, pes, steps, count=1)
+        # SDC runs default to no permanent kills: the corruption story
+        # (detect/heal/escalate) should stand on its own unless the
+        # caller explicitly stacks a kill schedule on top.
+        kills = (
+            KillSchedule(())
+            if sdc_configured
+            else KillSchedule.random(seed, pes, steps, count=1)
+        )
+    use_abft = bool(abft) if abft is not None else sdc_configured
     machine = MACHINES[machine_name] if machine_name else None
 
     inst = get_instance(instance)
@@ -165,13 +237,18 @@ def run_chaos(
     dt = stable_timestep(mesh, materials)
     partition = partition_mesh(mesh, pes)
     injector = None
-    if fault_rate > 0:
+    if fault_rate > 0 or sdc_configured:
         injector = FaultInjector(
             FaultConfig(
                 seed=seed,
                 drop_rate=fault_rate,
                 bitflip_rate=fault_rate,
                 duplicate_rate=fault_rate,
+                flip_x_rate=flip_rate,
+                flip_y_rate=flip_rate,
+                flip_k_rate=flip_rate / 2.0,
+                sticky_pes=sticky,
+                sticky_from_step=sticky_from,
             )
         )
     checkpoints = None
@@ -191,6 +268,7 @@ def run_chaos(
         kernel=kernel,
         backend=backend,
         injector=injector,
+        abft=use_abft,
     )
     stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
     supervisor = SuperstepSupervisor(
@@ -204,6 +282,10 @@ def run_chaos(
         sup_report = supervisor.run(steps, force_at=force_at)
         u_final = stepper.u.copy()
         u_prev_final = stepper.u_prev.copy()
+        # sdc_stats/sdc_events are shared across eviction-spawned
+        # executors, so the final smvp holds the whole run's tallies.
+        sdc_stats = stepper.smvp.sdc_stats
+        sdc_events = list(stepper.smvp.sdc_events)
     finally:
         stepper.smvp.close()
 
@@ -214,11 +296,66 @@ def run_chaos(
         num_steps=steps,
         num_pes_initial=pes,
         num_pes_final=sup_report.final_num_pes,
-        kill_schedule=str(kills),
+        kill_schedule=str(kills) or "none",
         supervisor=sup_report,
         final_max_displacement=float(np.abs(u_final).max()),
+        abft=use_abft,
+        sdc_injected=sdc_stats.injected_sdc,
+        sdc_detected=sdc_stats.detected_sdc,
+        sdc_recomputed=sdc_stats.recomputed_sdc,
+        sdc_scrubbed=sdc_stats.repaired_blocks,
+        sdc_escaped=sdc_stats.escaped_sdc,
     )
-    if not verify or not sup_report.resume_points:
+    if sdc_configured:
+        injected_sites = {
+            (e.step, e.physical_pe)
+            for e in sdc_events
+            if e.action == "injected"
+        }
+        detected_sites = {
+            (e.step, e.physical_pe)
+            for e in sdc_events
+            if e.action == "detected"
+        }
+        # A persistent K-flip can also be annihilated by an eviction's
+        # matrix reassembly before the check ever fires; the executor
+        # logs that scrub as "repaired" against the injection site.
+        contained_sites = detected_sites | {
+            (e.step, e.physical_pe)
+            for e in sdc_events
+            if e.action == "repaired"
+        }
+        report.sdc_all_detected = (
+            sdc_stats.escaped_sdc == 0
+            and injected_sites <= contained_sites
+        )
+        report.sdc_blame_correct = detected_sites <= injected_sites
+        if sticky:
+            report.sticky_evicted = set(sticky) <= set(sup_report.evicted)
+    if not verify:
+        return report
+
+    if sdc_configured and not sup_report.evictions:
+        # No eviction reshaped the partition, so the healed trajectory
+        # must be *bit-identical* to a fault-free run — the strongest
+        # possible statement that every corruption was contained.
+        reference = DistributedSMVP(
+            mesh, partition, materials, kernel=kernel, backend=backend
+        )
+        try:
+            ref_stepper = ExplicitTimeStepper(
+                stiffness, mass, dt, smvp=reference
+            )
+            ref_stepper.run(steps, force_at=force_at)
+            diff = np.abs(ref_stepper.u - u_final)
+            report.clean_max_abs_diff = float(diff.max())
+            report.clean_equivalent = bool(
+                np.array_equal(ref_stepper.u, u_final)
+                and np.array_equal(ref_stepper.u_prev, u_prev_final)
+            )
+        finally:
+            reference.close()
+    if not sup_report.resume_points:
         return report
 
     rp = sup_report.resume_points[-1]
@@ -232,6 +369,8 @@ def run_chaos(
         kernel=kernel,
         backend=backend,
         injector=injector,
+        abft=use_abft,
+        pe_ids=rp.pe_ids,
     )
     try:
         fresh.reset_superstep(rp.superstep)
@@ -296,6 +435,31 @@ def render_chaos_report(report: ChaosReport) -> List[str]:
                 f"total migrated words: {sup.total_migrated_words}; "
                 f"total reconfiguration cost: {total_cost:.3e} s"
             )
+    if report.abft or report.sdc_injected:
+        lines.append(
+            f"SDC: {report.sdc_injected} injected, "
+            f"{report.sdc_detected} detected, "
+            f"{report.sdc_recomputed} recomputed, "
+            f"{report.sdc_scrubbed} matrix blocks scrubbed, "
+            f"{report.sdc_escaped} escaped"
+        )
+    if report.sdc_all_detected is not None:
+        verdict = "PASS" if report.sdc_all_detected else "FAIL"
+        lines.append(f"all SDC detected: {verdict}")
+    if report.sdc_blame_correct is not None:
+        verdict = "PASS" if report.sdc_blame_correct else "FAIL"
+        lines.append(
+            f"blame attribution (superstep, physical PE): {verdict}"
+        )
+    if report.sticky_evicted is not None:
+        verdict = "PASS" if report.sticky_evicted else "FAIL"
+        lines.append(f"sticky PEs evicted: {verdict}")
+    if report.clean_equivalent is not None:
+        verdict = "PASS" if report.clean_equivalent else "FAIL"
+        lines.append(
+            f"bit-identical to fault-free run: {verdict} "
+            f"(max |diff| = {report.clean_max_abs_diff:.3e})"
+        )
     if report.survivor_equivalent is not None:
         verdict = "PASS" if report.survivor_equivalent else "FAIL"
         lines.append(

@@ -62,12 +62,22 @@ class RecoveryPolicy:
     max_evictions:
         Hard cap on evictions per run (``None``: keep evicting while
         at least two PEs survive).
+    recovery_budget:
+        Per-run ceiling on the *cumulative* number of retried
+        supersteps — a clock-free escalation deadline.  When the
+        supervisor's total retry count would pass this, it raises
+        :class:`~repro.faults.RecoveryDeadlineError` instead of
+        retrying again, turning an every-PE-is-flaky run into a typed
+        failure rather than unbounded recovery effort.  ``None``
+        (default) keeps the historical behavior: only the per-step
+        retry cap bounds recovery.
     """
 
     quarantine_after: int = 2
     evict_after: int = 4
     prefer_shadow: bool = True
     max_evictions: Optional[int] = None
+    recovery_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.quarantine_after < 1:
@@ -76,6 +86,8 @@ class RecoveryPolicy:
             raise ValueError("evict_after must be >= quarantine_after")
         if self.max_evictions is not None and self.max_evictions < 0:
             raise ValueError("max_evictions must be non-negative")
+        if self.recovery_budget is not None and self.recovery_budget < 1:
+            raise ValueError("recovery_budget must be positive")
 
 
 class HealthTracker:

@@ -34,7 +34,12 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.faults.errors import ExchangeFaultError, PermanentFailureError
+from repro.faults.errors import (
+    ExchangeFaultError,
+    PermanentFailureError,
+    RecoveryDeadlineError,
+    SdcFaultError,
+)
 from repro.resilience.eviction import migration_plan, splice_state
 from repro.resilience.policy import (
     Escalation,
@@ -44,7 +49,12 @@ from repro.resilience.policy import (
 from repro.resilience.shadow import ShadowStore
 from repro.simulate.bsp import ReconfigurationCost, model_reconfiguration
 from repro.smvp.schedule import ScheduleDelta, schedule_delta
-from repro.telemetry.registry import count, record_eviction, stage_span
+from repro.telemetry.registry import (
+    count,
+    record_eviction,
+    record_sdc_latency,
+    stage_span,
+)
 
 
 @dataclass(frozen=True)
@@ -83,6 +93,9 @@ class ResumePoint:
     step_index: int
     superstep: int  # executor exchange counter (fault-stream key)
     quarantined: frozenset
+    # Physical PE ids of the survivors (SDC fault streams key on
+    # these); None on resume points from pre-ABFT runs.
+    pe_ids: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -238,9 +251,18 @@ class SuperstepSupervisor:
             except ExchangeFaultError as exc:
                 self.retried_supersteps += 1
                 count("repro_supervised_retries_total")
+                self._check_recovery_budget(exc.step)
                 if attempt >= self.max_retries_per_step:
                     raise
                 self._escalate(exc)
+                continue
+            except SdcFaultError as exc:
+                self.retried_supersteps += 1
+                count("repro_supervised_retries_total", kind="sdc")
+                self._check_recovery_budget(exc.step)
+                if attempt >= self.max_retries_per_step:
+                    raise
+                self._escalate_sdc(exc)
                 continue
             for orig_pe in self._current_to_orig:
                 self.health.record_success(orig_pe)
@@ -261,6 +283,44 @@ class SuperstepSupervisor:
             count("repro_pe_quarantines_total", pe=blamed_orig)
         elif escalation is Escalation.EVICT:
             self._evict(blamed_orig)
+
+    def _escalate_sdc(self, exc: SdcFaultError) -> None:
+        """Apply the policy against the PE an ABFT check blamed.
+
+        Unlike a failed exchange, SDC detection names a single PE
+        directly — no link-endpoint ambiguity — so the failure lands
+        on exactly that PE's health record.  Quarantine circuit-breaks
+        its links (the numeric no-op rung of the ladder; it cannot fix
+        a bad core, but it is the policy's mandated intermediate step);
+        a continued streak evicts the PE and its corrupted influence
+        with it.
+        """
+        if exc.pe is None:
+            return
+        blamed_orig = self.original_id(exc.pe)
+        escalation = self.health.record_failure(blamed_orig)
+        if escalation is Escalation.QUARANTINE:
+            self.smvp.quarantine(self.current_id(blamed_orig))
+            count("repro_pe_quarantines_total", pe=blamed_orig)
+        elif escalation is Escalation.EVICT:
+            # Detection-to-eviction latency, in retried supersteps.
+            record_sdc_latency(
+                float(self.health.consecutive_failures[blamed_orig])
+            )
+            self._evict(blamed_orig)
+
+    def _check_recovery_budget(self, step: Optional[int]) -> None:
+        """Enforce the per-run escalation deadline, if one is set."""
+        budget = self.policy.recovery_budget
+        if budget is not None and self.retried_supersteps > budget:
+            raise RecoveryDeadlineError(
+                f"recovery budget exhausted: {self.retried_supersteps} "
+                f"retried supersteps exceed the per-run budget of "
+                f"{budget}",
+                budget=budget,
+                retried=self.retried_supersteps,
+                step=step,
+            )
 
     # -- eviction ----------------------------------------------------------
 
@@ -355,6 +415,7 @@ class SuperstepSupervisor:
                 step_index=stepper.step_index,
                 superstep=new_smvp._superstep,
                 quarantined=new_smvp.quarantined,
+                pe_ids=new_smvp.pe_ids.copy(),
             )
         )
         return event

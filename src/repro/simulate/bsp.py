@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.analysis.contracts import check_schedule_contract
 from repro.faults.detection import FaultStats
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, SdcTarget
 from repro.faults.recovery import retransmit_penalty
 from repro.model.machine import Machine
 from repro.smvp.schedule import CommSchedule
@@ -73,6 +73,7 @@ class PhaseTimes(PhaseBreakdown):
     mode: str
     per_pe_comm: np.ndarray  # each PE's own communication busy time
     faults: Optional[FaultStats] = None  # injected-fault tally, if any
+    t_verify: float = 0.0  # modeled ABFT check time (0.0 when off)
 
 
 @dataclass(frozen=True)
@@ -147,7 +148,17 @@ class BspSimulator:
         before the exchange can start.
     injector:
         Optional fault injector; when enabled, ``barrier`` runs model
-        stragglers, transient PE failures, and block retransmits.
+        stragglers, transient PE failures, block retransmits, and —
+        when SDC modes are configured — silent-data-corruption
+        detection and recomputation.
+    abft_flops_per_pe:
+        Per-PE flop cost of the ABFT verification
+        (:func:`repro.smvp.abft.verify_flops_per_pe`).  When given,
+        every mode charges the checks as extra compute (the ``T_verify``
+        term), and faulty barrier runs model SDC detections as one
+        recompute of the afflicted PE's product.  ``None`` (default)
+        models no verification and leaves every timing bit-identical
+        to the pre-ABFT simulator.
     """
 
     def __init__(
@@ -157,6 +168,7 @@ class BspSimulator:
         machine: Machine,
         boundary_flops_per_pe: Optional[np.ndarray] = None,
         injector: Optional[FaultInjector] = None,
+        abft_flops_per_pe: Optional[np.ndarray] = None,
     ) -> None:
         machine.require_comm("the BSP simulator")
         check_schedule_contract(schedule)
@@ -170,6 +182,16 @@ class BspSimulator:
             if boundary_flops_per_pe is None
             else np.asarray(boundary_flops_per_pe, dtype=np.float64)
         )
+        self.abft_flops = (
+            None
+            if abft_flops_per_pe is None
+            else np.asarray(abft_flops_per_pe, dtype=np.float64)
+        )
+        if (
+            self.abft_flops is not None
+            and self.abft_flops.shape != self.flops.shape
+        ):
+            raise ValueError("abft_flops_per_pe length must equal PE count")
         self.injector = injector
 
     # -- per-PE communication busy times ---------------------------------
@@ -219,8 +241,17 @@ class BspSimulator:
             record_fault_stats(result.faults, "simulator")
         return result
 
+    def _verify_times(self) -> Tuple[np.ndarray, float]:
+        """Per-PE ABFT check time and the reported T_verify (its max)."""
+        if self.abft_flops is None:
+            zeros = np.zeros_like(self.flops)
+            return zeros, 0.0
+        verify = self.abft_flops * self.machine.tf
+        return verify, float(verify.max()) if len(verify) else 0.0
+
     def _run_barrier(self) -> PhaseTimes:
-        t_comp = float((self.flops * self.machine.tf).max())
+        verify, t_verify = self._verify_times()
+        t_comp = float(((self.flops * self.machine.tf) + verify).max())
         busy = self._comm_busy()
         t_comm = float(busy.max()) if len(busy) else 0.0
         return PhaseTimes(
@@ -229,6 +260,7 @@ class BspSimulator:
             t_comm=t_comm,
             t_smvp=t_comp + t_comm,
             per_pe_comm=busy,
+            t_verify=t_verify,
         )
 
     def _run_barrier_faulty(self, step: int) -> PhaseTimes:
@@ -249,6 +281,8 @@ class BspSimulator:
         cfg = injector.config
         tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
         stats = FaultStats()
+        verify, t_verify = self._verify_times()
+        abft_on = self.abft_flops is not None
 
         comp = self.flops * tf
         for pe in range(len(comp)):
@@ -259,6 +293,32 @@ class BspSimulator:
             if injector.pe_failed(pe, step):
                 stats.pe_failures += 1
                 comp[pe] = 2.0 * comp[pe] + cfg.pe_restart_penalty
+            if injector.sdc_enabled:
+                events = 0
+                if injector.sdc_target(pe, step) is not SdcTarget.NONE:
+                    events += 1
+                sticky = injector.sticky(pe, step)
+                if sticky:
+                    events += 1
+                if events:
+                    stats.injected_sdc += events
+                    if not abft_on:
+                        # Nothing watching: the corruption commits.
+                        stats.escaped_sdc += events
+                    elif sticky:
+                        # Inline recovery re-corrupts twice, then the
+                        # supervisor restarts the superstep.
+                        stats.detected_sdc += events
+                        stats.recomputed_sdc += 2
+                        comp[pe] += (
+                            2.0 * self.flops[pe] * tf + cfg.pe_restart_penalty
+                        )
+                    else:
+                        # One recompute of the local product heals it.
+                        stats.detected_sdc += events
+                        stats.recomputed_sdc += events
+                        comp[pe] += events * self.flops[pe] * tf
+        comp = comp + verify
         t_comp = float(comp.max()) if len(comp) else 0.0
 
         busy = np.zeros(self.schedule.num_parts, dtype=np.float64)
@@ -305,11 +365,15 @@ class BspSimulator:
             t_smvp=t_comp + t_comm,
             per_pe_comm=busy,
             faults=stats,
+            t_verify=t_verify,
         )
 
     def _run_skewed(self) -> PhaseTimes:
         tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
-        ready = self.flops * tf  # when each PE may start communicating
+        verify, t_verify = self._verify_times()
+        # The compute check gates each PE's sends, so verification time
+        # delays communication readiness like compute does.
+        ready = self.flops * tf + verify  # when each PE may communicate
         free = ready.copy()  # when each PE's interface is next free
         # Transfers, each occupying both endpoints' interfaces.
         pending: List[Tuple[float, int, int, int, float]] = []
@@ -339,6 +403,7 @@ class BspSimulator:
             t_comm=t_smvp - t_comp,
             t_smvp=t_smvp,
             per_pe_comm=finish - ready,
+            t_verify=t_verify,
         )
 
     def _run_overlap(self) -> PhaseTimes:
@@ -348,15 +413,21 @@ class BspSimulator:
             raise ValueError("boundary flops exceed total flops")
         tf = self.machine.tf
         busy = self._comm_busy()
+        verify, t_verify = self._verify_times()
+        # Interior flops overlap communication, but the compute check
+        # must finish before the exchange starts — it rides with the
+        # boundary flops on the critical path.
         per_pe = np.maximum(
-            self.flops * tf, self.boundary_flops * tf + busy
+            self.flops * tf + verify,
+            self.boundary_flops * tf + verify + busy,
         )
         t_smvp = float(per_pe.max())
-        t_comp = float((self.flops * tf).max())
+        t_comp = float((self.flops * tf + verify).max())
         return PhaseTimes(
             mode="overlap",
             t_comp=t_comp,
             t_comm=t_smvp - t_comp,
             t_smvp=t_smvp,
             per_pe_comm=busy,
+            t_verify=t_verify,
         )

@@ -23,6 +23,9 @@ sequential product.
   steps, with the fault protocol as transport middleware.
 * :mod:`~repro.smvp.trace` — per-superstep instrumentation records and
   trace sinks.
+* :mod:`~repro.smvp.abft` — algorithm-based fault tolerance: checksum
+  rows that verify every PE's product and exchange in O(n_i), catching
+  the silent memory/compute corruption the wire CRCs never see.
 * :mod:`~repro.smvp.executor` — the two-phase bulk-synchronous
   distributed SMVP tying the layers together.
 * :mod:`~repro.smvp.spark98` — a Spark98-style named kernel suite.
@@ -51,6 +54,13 @@ from repro.smvp.backends import (
 )
 from repro.smvp.exchange import ExchangeRecord
 from repro.smvp.trace import PhaseBreakdown, SuperstepTrace, TraceLog
+from repro.smvp.abft import (
+    AbftCheck,
+    AbftChecker,
+    MatrixCorruption,
+    SdcEvent,
+    verify_flops_per_pe,
+)
 from repro.smvp.executor import DistributedSMVP
 
 __all__ = [
@@ -76,5 +86,10 @@ __all__ = [
     "PhaseBreakdown",
     "SuperstepTrace",
     "TraceLog",
+    "AbftCheck",
+    "AbftChecker",
+    "MatrixCorruption",
+    "SdcEvent",
+    "verify_flops_per_pe",
     "DistributedSMVP",
 ]

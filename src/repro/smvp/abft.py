@@ -1,0 +1,244 @@
+"""Algorithm-based fault tolerance (ABFT) for the superstep engine.
+
+The exchange middleware's CRC-32 protects blocks *in flight*; a bit
+that flips in a PE's local memory or arithmetic — the input vector x,
+the kernel product y, or the assembled stiffness block K — is invisible
+to it.  This module adds the classic Huang-Abraham checksum defense,
+adapted to the paper's replicated-shared-node SMVP:
+
+* At setup, for each PE precompute the **checksum row**
+  ``w_i = c^T K_i`` with ``c = 1`` (the column sums of the local block)
+  and its absolute companion ``w_abs_i = c^T |K_i|``.  Both are
+  O(nnz_i), once.
+* Every superstep, the invariant ``c^T y_i = w_i . x_i`` is checked in
+  O(n_i): two dot products against work that cost O(nnz_i).  A
+  mismatch localizes the corruption to *that PE's compute phase*.
+* After the exchange, ``sum(y_i^post) = sum(y_i^pre) + sum(incoming
+  payloads to i)`` re-checks each PE in O(n_i + words_i), localizing
+  post-exchange memory corruption to *that PE's exchange phase*.
+
+**Tolerance derivation.**  Both sides of the compute invariant are
+n_i-term float64 sums, so their difference is bounded by the standard
+worst-case rounding envelope ``gamma_n * S`` with ``gamma_n ≈ n *
+eps`` and ``S = w_abs_i . |x_i|`` (which also bounds ``sum |y_i|``,
+since ``|y_j| <= sum_k |K_jk| |x_k|``).  The checker uses
+
+``tol_i = tol_factor * eps * (n_i + nnz_i/n_i) * (w_abs_i . |x_i|)``
+
+— the extra ``nnz_i/n_i`` term covers the rounding already baked into
+``w_i`` itself.  The injector (:meth:`repro.faults.FaultInjector.
+sdc_site`) flips only exponent/sign bits of words within three decades
+of the array's peak magnitude, so an injected flip perturbs the
+checksum by at least ``peak / 2048`` — orders of magnitude above
+``tol_i`` for any mesh this repo builds (the margin is ~75x even in
+the degenerate flat-magnitude worst case; see DESIGN.md §11).  Flips
+*below* the rounding envelope are numerically indistinguishable from
+legitimate rounding and are excluded from the fault model by
+construction.
+
+Input (x) corruption cannot be caught by the product invariant — a
+correct product of a wrong input is self-consistent — so local inputs
+are guarded by an exact CRC-32 snapshot taken at scatter time and
+re-verified immediately before compute; recovery is a re-scatter from
+the authoritative global vector.
+
+Matrix (K) corruption is modeled *virtually*: the executor records the
+flipped word and applies the rank-1 update ``y[row] += (new - old) *
+x[col]`` after every compute until the record is scrubbed.  The
+authoritative assembled block is never mutated — backend-prepared
+states (which may alias it, or live in worker processes) stay clean,
+so all three backends observe the identical poisoned product and the
+identical healed bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Default multiplier on the worst-case rounding envelope.
+DEFAULT_TOL_FACTOR = 4.0
+
+#: float64 machine epsilon.
+_EPS = float(np.finfo(np.float64).eps)
+
+
+@dataclass(frozen=True)
+class SdcEvent:
+    """One observed step of an SDC's lifecycle, for blame reporting.
+
+    ``action`` is one of ``"injected"``, ``"detected"``,
+    ``"recomputed"``, ``"repaired"``, ``"escalated"``, ``"escaped"``.
+    ``phase`` is ``"input"``, ``"compute"``, or ``"exchange"``.
+    ``pe`` is the current slot id; ``physical_pe`` survives eviction
+    renumbering and is what chaos reports blame.
+    """
+
+    step: int
+    pe: int
+    physical_pe: int
+    phase: str
+    kind: str  # "flip-x" | "flip-y" | "flip-k" | "sticky"
+    action: str
+    detail: str = ""
+
+    def blame_line(self) -> str:
+        return (
+            f"SDC {self.action}: superstep {self.step}, "
+            f"PE {self.physical_pe} ({self.phase}, {self.kind})"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+class AbftCheck(NamedTuple):
+    """Outcome of one checksum comparison."""
+
+    ok: bool
+    error: float  # |observed - expected|
+    tol: float
+    checksum: float  # sum(y) observed, reused by the exchange check
+
+
+def _column_sums(matrix: sp.spmatrix) -> np.ndarray:
+    return np.asarray(matrix.sum(axis=0)).ravel().astype(np.float64)
+
+
+def _abs_matrix(matrix: sp.spmatrix) -> sp.spmatrix:
+    out = matrix.copy()
+    out.data = np.abs(out.data)
+    return out
+
+
+class AbftChecker:
+    """Per-PE checksum rows and tolerance state for one distribution.
+
+    Built once from the executor's authoritative local matrices
+    (``prepare()`` time); costs one O(nnz) pass per PE.  The checker is
+    backend-agnostic: it verifies whatever products the backend
+    returns against the assembled blocks the backend was prepared
+    from, so detection parity across serial / threaded / shared-memory
+    is structural, not incidental.
+    """
+
+    def __init__(
+        self,
+        local_matrices: Sequence[sp.spmatrix],
+        tol_factor: float = DEFAULT_TOL_FACTOR,
+    ) -> None:
+        if tol_factor <= 0:
+            raise ValueError("tol_factor must be positive")
+        self.tol_factor = float(tol_factor)
+        self.w: List[np.ndarray] = []
+        self.w_abs: List[np.ndarray] = []
+        self._terms: List[float] = []
+        for matrix in local_matrices:
+            self.w.append(_column_sums(matrix))
+            self.w_abs.append(_column_sums(_abs_matrix(matrix)))
+            n = max(1, matrix.shape[0])
+            self._terms.append(float(n + matrix.nnz / n))
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.w)
+
+    def tol(self, pe: int, x: np.ndarray) -> float:
+        """The rounding envelope for this PE at this input."""
+        scale = float(self.w_abs[pe] @ np.abs(x))
+        return self.tol_factor * _EPS * self._terms[pe] * scale
+
+    def check_compute(
+        self, pe: int, x: np.ndarray, y: np.ndarray
+    ) -> AbftCheck:
+        """Verify ``c^T y = w . x`` for one PE's local product."""
+        expected = float(self.w[pe] @ x)
+        observed = float(y.sum())
+        tol = self.tol(pe, x)
+        err = abs(observed - expected)
+        ok = bool(np.isfinite(observed) and err <= tol)
+        return AbftCheck(ok=ok, error=err, tol=tol, checksum=observed)
+
+    def check_exchange(
+        self,
+        pe: int,
+        y_post: np.ndarray,
+        pre_checksum: float,
+        incoming_sum: float,
+        incoming_abs: float,
+        incoming_terms: int,
+        x: np.ndarray,
+    ) -> AbftCheck:
+        """Verify one PE's post-exchange partials against the incoming
+        payload checksums collected by the transport."""
+        expected = pre_checksum + incoming_sum
+        observed = float(y_post.sum())
+        scale = float(self.w_abs[pe] @ np.abs(x)) + abs(incoming_abs)
+        terms = self._terms[pe] + float(incoming_terms)
+        tol = self.tol_factor * _EPS * terms * scale
+        err = abs(observed - expected)
+        ok = bool(np.isfinite(observed) and err <= tol)
+        return AbftCheck(ok=ok, error=err, tol=tol, checksum=observed)
+
+
+def nnz_coords(matrix: sp.spmatrix, word: int) -> "tuple[int, int]":
+    """(row, col) dof coordinates of flat data word ``word``.
+
+    Supports the two assembled formats the kernels prefer: CSR (one
+    data word per nonzero) and BSR with 3x3 blocks (nine data words
+    per stored block, row-major within the block).
+    """
+    if sp.isspmatrix_csr(matrix):
+        row = int(np.searchsorted(matrix.indptr, word, side="right") - 1)
+        col = int(matrix.indices[word])
+        return row, col
+    if sp.isspmatrix_bsr(matrix):
+        br, bc = matrix.blocksize
+        block, offset = divmod(word, br * bc)
+        r, c = divmod(offset, bc)
+        brow = int(
+            np.searchsorted(matrix.indptr, block, side="right") - 1
+        )
+        return brow * br + r, int(matrix.indices[block]) * bc + c
+    raise TypeError(
+        f"unsupported sparse format {type(matrix).__name__} for "
+        "ABFT matrix-corruption bookkeeping"
+    )
+
+
+@dataclass
+class MatrixCorruption:
+    """One live (unscrubbed) bit-flip in a PE's assembled block.
+
+    The executor applies ``y[row] += (new - old) * x[col]`` after every
+    compute while the record is live, so the poisoned product is
+    bit-identical across backends without mutating any prepared state.
+    """
+
+    word: int
+    bit: int
+    old: float
+    new: float
+    row: int
+    col: int
+    step: int  # superstep the flip was injected
+
+
+def verify_flops_per_pe(
+    distribution, schedule=None
+) -> np.ndarray:
+    """Modeled per-PE flop cost of the ABFT checks, for ``T_verify``.
+
+    Per superstep each PE pays two O(n_i) dot products plus one
+    O(n_i) magnitude pass for the compute check, one O(n_i) re-sum for
+    the exchange check (~ 4 flops per local dof with 3 dofs per node),
+    and ~2 flops per incoming exchange word for the payload checksums.
+    """
+    nodes = distribution.local_counts["nodes"].astype(np.float64)
+    flops = 4.0 * 3.0 * nodes
+    if schedule is not None:
+        flops = flops + 2.0 * np.asarray(
+            schedule.words_per_pe, dtype=np.float64
+        )
+    return flops

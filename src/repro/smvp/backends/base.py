@@ -36,6 +36,15 @@ class ExecutionBackend:
         """One compute phase: the per-PE products, in PE order."""
         raise NotImplementedError
 
+    def compute_one(self, pe: int, x: np.ndarray) -> np.ndarray:
+        """Recompute a single PE's product (ABFT inline recovery).
+
+        Must be bit-identical to the ``pe``-th entry of
+        :meth:`compute` — same prepared state, same kernel code — so a
+        recomputed superstep heals a transient corruption exactly.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any pools; the backend may not be used afterwards."""
 

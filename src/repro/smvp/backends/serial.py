@@ -25,3 +25,6 @@ class SerialBackend(ExecutionBackend):
         count("repro_backend_compute_phases_total", backend=self.name)
         apply = self.kernel.apply
         return [apply(state, x) for state, x in zip(self.states, x_locals)]
+
+    def compute_one(self, pe: int, x: np.ndarray) -> np.ndarray:
+        return self.kernel.apply(self.states[pe], x)

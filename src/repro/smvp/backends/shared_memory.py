@@ -79,6 +79,13 @@ class SharedMemoryBackend(ExecutionBackend):
         pool = self._ensure_pool()
         return pool.map(_apply_one, list(enumerate(x_locals)))
 
+    def compute_one(self, pe: int, x: np.ndarray) -> np.ndarray:
+        # Ship the single product to a worker: the recompute runs on
+        # the same per-worker prepared states as the full phase, and
+        # float64 pickling is exact, so the bits match `compute`.
+        pool = self._ensure_pool()
+        return pool.apply(_apply_one, ((pe, x),))
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.terminate()

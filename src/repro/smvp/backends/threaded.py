@@ -59,6 +59,11 @@ class ThreadedBackend(ExecutionBackend):
         apply = self.kernel.apply
         return list(pool.map(apply, self.states, x_locals))
 
+    def compute_one(self, pe: int, x: np.ndarray) -> np.ndarray:
+        # Same prepared state and kernel code as the pooled path, so
+        # the recomputed product is bit-identical by construction.
+        return self.kernel.apply(self.states[pe], x)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

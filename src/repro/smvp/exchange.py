@@ -205,9 +205,14 @@ def make_transport(
 
     ``quarantined`` PEs (if any) get the circuit-broken verified path
     through the :class:`FaultMiddleware`; with no enabled injector the
-    clean transport already never faults, so quarantine is moot.
+    clean transport already never faults, so quarantine is moot.  Only
+    *communication* faults (drops / in-flight bit-flips / duplicates)
+    route through the middleware — an injector that only corrupts
+    memory or compute (SDC) keeps the clean wire: those faults happen
+    before or after the exchange, and the executor's ABFT checks, not
+    the transport CRC, are the defense.
     """
-    if injector is not None and injector.enabled:
+    if injector is not None and injector.comm_enabled:
         return FaultMiddleware(injector, quarantined)
     return CleanTransport()
 
@@ -218,12 +223,18 @@ def run_exchange(
     transport,
     step: int,
     num_parts: int,
+    collector: Optional[List[Tuple[BlockSend, np.ndarray]]] = None,
 ) -> Tuple[List[np.ndarray], ExchangeRecord]:
     """Build buffers, deliver each block through the transport, sum.
 
     Buffers are snapshotted *before* any summation (as real message
     passing would), so nodes shared by three or more PEs receive every
     other owner's pre-exchange partial exactly once.
+
+    ``collector``, if given, receives every delivered ``(send,
+    payload)`` in application order — the executor's ABFT exchange
+    check needs the incoming payloads per receiver (for checksums and
+    for replaying one PE's summation during inline recovery).
     """
     words_sent = np.zeros(num_parts, dtype=np.int64)
     blocks_sent = np.zeros(num_parts, dtype=np.int64)
@@ -232,6 +243,8 @@ def run_exchange(
         (send, transport.transmit(send, step, stats, words_sent, blocks_sent))
         for send in build_sends(y_locals, pairs)
     ]
+    if collector is not None:
+        collector.extend(delivered)
     y_locals = apply_sends(y_locals, delivered)
     record = ExchangeRecord(words_sent, blocks_sent, faults=stats)
     if get_registry() is not None:

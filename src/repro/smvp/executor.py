@@ -31,7 +31,8 @@ counts are exactly the F, C_i, and B_i the model consumes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -40,21 +41,45 @@ from repro.analysis.contracts import (
     check_csr_contract,
     check_schedule_contract,
 )
-from repro.faults.injector import FaultInjector
+from repro.faults.detection import FaultStats, block_checksum, verify_block
+from repro.faults.errors import SdcFaultError
+from repro.faults.injector import FaultInjector, SdcTarget
 from repro.fem.assembly import assemble_subdomain_stiffness
 from repro.fem.material import ElementMaterials
 from repro.mesh.core import TetMesh
 from repro.partition.base import Partition
+from repro.smvp.abft import AbftChecker, MatrixCorruption, SdcEvent, nnz_coords
 from repro.smvp.backends import make_backend
 from repro.smvp.distribution import DataDistribution
-from repro.smvp.exchange import ExchangeRecord, make_transport, run_exchange
+from repro.smvp.exchange import (
+    BlockSend,
+    ExchangeRecord,
+    make_transport,
+    run_exchange,
+)
 from repro.smvp.kernels import get_kernel
 from repro.smvp.schedule import CommSchedule
 from repro.smvp.trace import SuperstepTrace, TraceSink
-from repro.telemetry.registry import count, get_registry
+from repro.telemetry.registry import (
+    count,
+    get_registry,
+    record_sdc_event,
+    record_sdc_latency,
+)
 from repro.util.clock import now
 
 __all__ = ["DistributedSMVP", "ExchangeRecord"]
+
+# Site-stream salts keep the x / matrix / y / sticky flip draws disjoint.
+_SALT_INPUT = 1
+_SALT_MATRIX = 2
+_SALT_OUTPUT = 3
+_SALT_STICKY = 4
+
+#: Inline recompute attempts before a compute-phase SDC escalates to
+#: the supervisor (attempt 1 heals a transient output flip, attempt 2
+#: scrubs a corrupted matrix block first; a sticky PE survives both).
+_MAX_SDC_ATTEMPTS = 2
 
 
 class DistributedSMVP:
@@ -88,6 +113,23 @@ class DistributedSMVP:
         :class:`~repro.smvp.trace.SuperstepTrace` after every
         ``multiply`` (per-phase wall times, per-PE traffic, fault
         stats).  ``None`` (default) keeps the hot path clock-free.
+    abft:
+        Enable algorithm-based fault tolerance (see
+        :mod:`repro.smvp.abft`): every ``multiply`` verifies each PE's
+        input vector (exact CRC against the scatter snapshot), local
+        product (checksum row ``w_i = 1ᵀK_i``), and post-exchange
+        partial (incoming-payload sum) in O(n_i) per PE, heals inline
+        by recomputation, and raises
+        :class:`~repro.faults.SdcFaultError` blaming a specific PE and
+        phase when inline recovery is exhausted (a sticky fault).
+        With ``abft=False`` and no SDC fault modes configured,
+        ``multiply`` takes the historical path, bit for bit.
+    pe_ids:
+        Physical identity of each PE slot (default ``0..P-1``).  The
+        SDC injector keys its draws on *physical* ids, so a sticky
+        "bad core" follows the same hardware through post-eviction
+        renumbering instead of silently migrating to an innocent
+        survivor.
     """
 
     def __init__(
@@ -99,6 +141,8 @@ class DistributedSMVP:
         injector: Optional[FaultInjector] = None,
         backend: str = "serial",
         trace_sink: Optional[TraceSink] = None,
+        abft: bool = False,
+        pe_ids: Optional[Sequence[int]] = None,
     ) -> None:
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.kernel_name = self.kernel.name
@@ -132,6 +176,33 @@ class DistributedSMVP:
         self.backend = make_backend(backend)
         self.backend_name = self.backend.name
         self.backend.setup(self.kernel, self.local_matrices)
+
+        if pe_ids is None:
+            self.pe_ids = np.arange(partition.num_parts, dtype=np.int64)
+        else:
+            self.pe_ids = np.asarray(list(pe_ids), dtype=np.int64)
+            if self.pe_ids.shape != (partition.num_parts,):
+                raise ValueError(
+                    f"pe_ids must have one entry per PE "
+                    f"({partition.num_parts}), got {self.pe_ids.shape}"
+                )
+        self.abft_enabled = bool(abft)
+        self._abft = AbftChecker(self.local_matrices) if abft else None
+        self._sdc_active = injector is not None and injector.sdc_enabled
+        # Live virtual matrix corruption, one record per afflicted PE:
+        # the authoritative local matrices are never mutated (backends
+        # may alias or privately copy them), the corruption's rank-1
+        # effect is re-applied to every product until scrubbed — so the
+        # same fault is bit-identical across all backends.
+        self._k_corruption: Dict[int, MatrixCorruption] = {}
+        self._flat_cols_cache: Dict[int, np.ndarray] = {}
+        # Cumulative across the executor's life; reconfigure_without
+        # hands both to the successor so a run's SDC history survives
+        # evictions.
+        self.sdc_stats = FaultStats()
+        self.sdc_events: List[SdcEvent] = []
+        # Cumulative transport (in-flight) fault tally across exchanges.
+        self.transport_stats = FaultStats()
 
         reg = get_registry()
         if reg is not None:
@@ -238,6 +309,9 @@ class DistributedSMVP:
         new_partition, redistribution = redistribute_after_eviction(
             self.mesh, self.partition, dead_pe
         )
+        survivor_ids = np.empty(new_partition.num_parts, dtype=np.int64)
+        for old_slot, new_slot in redistribution.survivor_map.items():
+            survivor_ids[new_slot] = self.pe_ids[old_slot]
         new = DistributedSMVP(
             self.mesh,
             new_partition,
@@ -246,6 +320,8 @@ class DistributedSMVP:
             injector=self.injector,
             backend=self.backend_name,
             trace_sink=self.trace_sink,
+            abft=self.abft_enabled,
+            pe_ids=survivor_ids,
         )
         new._superstep = self._superstep
         new._quarantined = frozenset(
@@ -253,6 +329,22 @@ class DistributedSMVP:
             for pe in self._quarantined
             if pe in redistribution.survivor_map
         )
+        # The run's SDC history continues on the successor (shared, not
+        # copied).  Live virtual matrix corruption does NOT carry over:
+        # redistribution reassembles every local matrix from the
+        # authoritative element data, which scrubs it by construction —
+        # record the scrub (against the injection superstep) so the
+        # fault's lifecycle closes even when eviction, not detection,
+        # annihilated it.
+        for pe, corruption in sorted(self._k_corruption.items()):
+            self.sdc_stats.repaired_blocks += 1
+            self._note_sdc(
+                corruption.step, pe, "compute", "flip-k", "repaired",
+                "scrubbed by redistribution",
+            )
+        new.sdc_stats = self.sdc_stats
+        new.sdc_events = self.sdc_events
+        new.transport_stats = self.transport_stats
         count("repro_smvp_reconfigurations_total", dead_pe=dead_pe)
         return new, redistribution
 
@@ -275,7 +367,10 @@ class DistributedSMVP:
         return self.backend.compute(x_locals)
 
     def communication_phase(
-        self, y_locals: List[np.ndarray], step: Optional[int] = None
+        self,
+        y_locals: List[np.ndarray],
+        step: Optional[int] = None,
+        collector: Optional[List[Tuple[BlockSend, np.ndarray]]] = None,
     ) -> Tuple[List[np.ndarray], ExchangeRecord]:
         """Pairwise exchange-and-sum of shared partial y values.
 
@@ -294,9 +389,24 @@ class DistributedSMVP:
             step = self._superstep
         self._superstep = step + 1
         transport = make_transport(self.injector, self._quarantined)
-        return run_exchange(
-            y_locals, self._pairs, transport, step, self.num_parts
+        y_locals, record = run_exchange(
+            y_locals,
+            self._pairs,
+            transport,
+            step,
+            self.num_parts,
+            collector=collector,
         )
+        if record.faults is not None:
+            for field in dataclass_fields(record.faults):
+                value = getattr(record.faults, field.name)
+                if value:
+                    setattr(
+                        self.transport_stats,
+                        field.name,
+                        getattr(self.transport_stats, field.name) + value,
+                    )
+        return y_locals, record
 
     def gather(self, y_locals: List[np.ndarray]) -> np.ndarray:
         """Collect the (now globally summed) y into one global vector."""
@@ -317,6 +427,8 @@ class DistributedSMVP:
             kernel=self.kernel_name,
             backend=self.backend_name,
         )
+        if self._abft is not None or self._sdc_active:
+            return self._multiply_verified(x_global)
         sink = self.trace_sink
         if sink is None:
             x_locals = self.scatter(x_global)
@@ -352,6 +464,468 @@ class DistributedSMVP:
         return y_global
 
     __call__ = multiply
+
+    # -- ABFT: the verified superstep --------------------------------------
+
+    def _multiply_verified(self, x_global: np.ndarray) -> np.ndarray:
+        """The superstep with SDC injection and ABFT checks woven in.
+
+        Same four phases as the plain path, with a verification point
+        after each data hand-off: the input CRC check after scatter,
+        the checksum-row compute check after the local products, and
+        the payload-sum exchange check after the exchange.  Inline
+        recovery heals transient corruption on the spot (the committed
+        bits equal a fault-free superstep's); a PE that cannot be
+        healed raises :class:`~repro.faults.SdcFaultError` *before*
+        any executor or caller state changes hands, so the superstep
+        is retryable by the resilience supervisor.
+        """
+        sink = self.trace_sink
+        timed = sink is not None
+        step = self._superstep
+        stats = FaultStats()
+        record: Optional[ExchangeRecord] = None
+        t0 = now() if timed else 0.0
+        try:
+            x_locals = self.scatter(x_global)
+            t1 = now() if timed else 0.0
+            self._sdc_input_phase(x_locals, x_global, step, stats)
+            tv1 = now() if timed else 0.0
+            y_locals = self.compute_phase(x_locals)
+            t2 = now() if timed else 0.0
+            pre = self._sdc_compute_phase(x_locals, y_locals, step, stats)
+            tv2 = now() if timed else 0.0
+            collector: List[Tuple[BlockSend, np.ndarray]] = []
+            y_locals, record = self.communication_phase(
+                y_locals, collector=collector
+            )
+            t3 = now() if timed else 0.0
+            self._sdc_exchange_phase(
+                x_locals, y_locals, pre, collector, step, stats
+            )
+            tv3 = now() if timed else 0.0
+            y_global = self.gather(y_locals)
+            t4 = now() if timed else 0.0
+        finally:
+            # Escalations must not lose the tallies gathered so far.
+            self._accumulate_sdc(stats)
+        if timed:
+            faults = record.faults
+            if any(
+                getattr(stats, f.name) for f in dataclass_fields(stats)
+            ):
+                faults = stats if faults is None else faults.merge(stats)
+            sink(
+                SuperstepTrace(
+                    t_comp=t2 - tv1,
+                    t_comm=t3 - tv2,
+                    t_smvp=t4 - t0,
+                    step=step,
+                    kernel=self.kernel_name,
+                    backend=self.backend_name,
+                    t_scatter=t1 - t0,
+                    t_gather=t4 - tv3,
+                    words_sent=record.words_sent,
+                    blocks_sent=record.blocks_sent,
+                    faults=faults,
+                    t_verify=(tv1 - t1) + (tv2 - t2) + (tv3 - t3),
+                )
+            )
+        return y_global
+
+    def _accumulate_sdc(self, stats: FaultStats) -> None:
+        """Fold one superstep's SDC tallies into the run totals, in
+        place (``sdc_stats`` is shared with post-eviction successors)."""
+        for field in dataclass_fields(stats):
+            value = getattr(stats, field.name)
+            if value:
+                setattr(
+                    self.sdc_stats,
+                    field.name,
+                    getattr(self.sdc_stats, field.name) + value,
+                )
+
+    def _note_sdc(
+        self,
+        step: int,
+        pe: int,
+        phase: str,
+        kind: str,
+        action: str,
+        detail: str = "",
+    ) -> SdcEvent:
+        event = SdcEvent(
+            step=step,
+            pe=pe,
+            physical_pe=int(self.pe_ids[pe]),
+            phase=phase,
+            kind=kind,
+            action=action,
+            detail=detail,
+        )
+        self.sdc_events.append(event)
+        record_sdc_event(event)
+        return event
+
+    def _flat_cols(self, pe: int) -> np.ndarray:
+        """Column dof of every flat data word of PE ``pe``'s block
+        (cached; drives importance weighting of matrix flip sites)."""
+        cached = self._flat_cols_cache.get(pe)
+        if cached is None:
+            matrix = self.local_matrices[pe]
+            if sp.isspmatrix_csr(matrix):
+                cached = matrix.indices.astype(np.int64)
+            elif sp.isspmatrix_bsr(matrix):
+                br, bc = matrix.blocksize
+                offsets = np.tile(np.arange(bc, dtype=np.int64), br)
+                cached = (
+                    bc * matrix.indices[:, None].astype(np.int64)
+                    + offsets[None, :]
+                ).ravel()
+            else:
+                raise TypeError(
+                    f"unsupported format {type(matrix).__name__} for "
+                    "ABFT matrix bookkeeping"
+                )
+            self._flat_cols_cache[pe] = cached
+        return cached
+
+    def _sdc_input_phase(
+        self,
+        x_locals: List[np.ndarray],
+        x_global: np.ndarray,
+        step: int,
+        stats: FaultStats,
+    ) -> None:
+        """Snapshot-CRC the scattered inputs, inject x flips, verify,
+        and heal by re-scatter from the authoritative global vector."""
+        injector = self.injector if self._sdc_active else None
+        if self._abft is None and injector is None:
+            return
+        crcs = (
+            [block_checksum(x) for x in x_locals]
+            if self._abft is not None
+            else None
+        )
+        if injector is not None:
+            for pe in range(self.num_parts):
+                phys = int(self.pe_ids[pe])
+                if injector.sdc_target(phys, step) is not SdcTarget.INPUT:
+                    continue
+                word, bit, _old, _new = injector.flip_sdc(
+                    x_locals[pe], phys, step, salt=_SALT_INPUT
+                )
+                stats.injected_sdc += 1
+                self._note_sdc(
+                    step, pe, "input", "flip-x", "injected",
+                    f"word {word} bit {bit}",
+                )
+        if crcs is None:
+            return
+        blocks = np.asarray(x_global, dtype=np.float64).reshape(-1, 3)
+        for pe in range(self.num_parts):
+            if verify_block(x_locals[pe], crcs[pe]):
+                continue
+            stats.detected_sdc += 1
+            record_sdc_latency(0.0)
+            self._note_sdc(step, pe, "input", "flip-x", "detected")
+            x_locals[pe] = blocks[self.local_nodes[pe]].ravel()
+            stats.recomputed_sdc += 1
+            self._note_sdc(
+                step, pe, "input", "flip-x", "recomputed", "re-scatter"
+            )
+            if not verify_block(x_locals[pe], crcs[pe]):
+                self._note_sdc(step, pe, "input", "flip-x", "escalated")
+                raise SdcFaultError(
+                    f"PE {int(self.pe_ids[pe])} input vector corrupt "
+                    f"after re-scatter (superstep {step})",
+                    pe=pe,
+                    step=step,
+                    phase="input",
+                )
+
+    def _sdc_compute_phase(
+        self,
+        x_locals: List[np.ndarray],
+        y_locals: List[np.ndarray],
+        step: int,
+        stats: FaultStats,
+    ) -> Optional[List[float]]:
+        """Inject matrix/output corruption, verify every PE's product,
+        heal inline.  Returns the per-PE pre-exchange checksums (for
+        the exchange check), or ``None`` when ABFT is off."""
+        injector = self.injector if self._sdc_active else None
+        if injector is not None:
+            for pe in range(self.num_parts):
+                phys = int(self.pe_ids[pe])
+                if injector.sdc_target(phys, step) is not SdcTarget.MATRIX:
+                    continue
+                if pe in self._k_corruption:
+                    continue  # one live corruption per PE block
+                self._inject_matrix_flip(pe, phys, x_locals[pe], step, stats)
+        # Re-apply every live matrix corruption to this superstep's
+        # products — the persistent fault poisons each compute until
+        # detection scrubs it.
+        for pe, corruption in self._k_corruption.items():
+            y_locals[pe][corruption.row] += (
+                corruption.new - corruption.old
+            ) * x_locals[pe][corruption.col]
+        if injector is not None:
+            for pe in range(self.num_parts):
+                phys = int(self.pe_ids[pe])
+                if injector.sdc_target(phys, step) is SdcTarget.OUTPUT:
+                    word, bit, _o, _n = injector.flip_sdc(
+                        y_locals[pe], phys, step, salt=_SALT_OUTPUT
+                    )
+                    stats.injected_sdc += 1
+                    self._note_sdc(
+                        step, pe, "compute", "flip-y", "injected",
+                        f"word {word} bit {bit}",
+                    )
+                if injector.sticky(phys, step):
+                    injector.flip_sdc(
+                        y_locals[pe], phys, step, salt=_SALT_STICKY
+                    )
+                    stats.injected_sdc += 1
+                    self._note_sdc(
+                        step, pe, "compute", "sticky", "injected",
+                        "bad core corrupts every compute",
+                    )
+        if self._abft is None:
+            # Injected, nothing watching: whatever was injected this
+            # superstep escapes into committed state.
+            escaped = stats.injected_sdc - stats.detected_sdc
+            if escaped > 0:
+                stats.escaped_sdc += escaped
+            return None
+        pre: List[float] = [0.0] * self.num_parts
+        for pe in range(self.num_parts):
+            check = self._abft.check_compute(pe, x_locals[pe], y_locals[pe])
+            if check.ok:
+                pre[pe] = check.checksum
+                continue
+            stats.detected_sdc += 1
+            record_sdc_latency(float(step - self._corruption_age(pe, step)))
+            kind = self._blame_kind(pe, step)
+            self._note_sdc(
+                step, pe, "compute", kind, "detected",
+                f"|err| {check.error:.3e} > tol {check.tol:.3e}",
+            )
+            pre[pe] = self._recover_compute(
+                pe, x_locals[pe], y_locals, step, stats, kind
+            )
+        return pre
+
+    def _blame_kind(self, pe: int, step: int) -> str:
+        """Best-effort fault kind for a compute-check mismatch."""
+        injector = self.injector if self._sdc_active else None
+        phys = int(self.pe_ids[pe])
+        if injector is not None and injector.sticky(phys, step):
+            return "sticky"
+        if pe in self._k_corruption:
+            return "flip-k"
+        return "flip-y"
+
+    def _corruption_age(self, pe: int, step: int) -> int:
+        """Superstep a live matrix corruption on ``pe`` was injected
+        (for detection-latency accounting); ``step`` if none live."""
+        corruption = self._k_corruption.get(pe)
+        return corruption.step if corruption is not None else step
+
+    def _inject_matrix_flip(
+        self,
+        pe: int,
+        phys: int,
+        x: np.ndarray,
+        step: int,
+        stats: FaultStats,
+    ) -> None:
+        """Record a persistent bit-flip in PE ``pe``'s assembled block.
+
+        The flipped word is drawn importance-weighted by
+        ``|K[word]| * |x[col(word)]|`` so the flip's rank-1 effect on
+        the product is within three decades of the largest achievable —
+        i.e. guaranteed detectable this superstep.  When every
+        importance is zero (an all-zero local input, e.g. the first
+        steps of a cold-started wave), a flip would be a bitwise no-op
+        on the product, so injection is skipped — there is no
+        observable fault to detect.
+        """
+        matrix = self.local_matrices[pe]
+        data = np.asarray(matrix.data).reshape(-1)
+        importance = np.abs(data) * np.abs(x[self._flat_cols(pe)])
+        if float(importance.max()) <= 0.0:
+            return
+        injector = self.injector
+        word, bit = injector.sdc_site(
+            importance, phys, step, salt=_SALT_MATRIX
+        )
+        old = float(data[word])
+        flipped = np.array([old], dtype=np.float64)
+        flipped.view(np.uint64)[0] ^= np.uint64(1) << np.uint64(bit)
+        new = float(flipped[0])
+        row, col = nnz_coords(matrix, word)
+        self._k_corruption[pe] = MatrixCorruption(
+            word=word, bit=bit, old=old, new=new, row=row, col=col,
+            step=step,
+        )
+        stats.injected_sdc += 1
+        self._note_sdc(
+            step, pe, "compute", "flip-k", "injected",
+            f"word {word} bit {bit} (dof {row},{col})",
+        )
+
+    def _recover_compute(
+        self,
+        pe: int,
+        x: np.ndarray,
+        y_locals: List[np.ndarray],
+        step: int,
+        stats: FaultStats,
+        kind: str,
+    ) -> float:
+        """Heal one PE's corrupt product inline; returns the healed
+        pre-exchange checksum or raises :class:`SdcFaultError`.
+
+        Attempt 1 recomputes from the (CRC-verified) input — that
+        alone heals a transient output flip.  Attempt 2 first scrubs
+        any live matrix corruption (the authoritative assembled block
+        is clean by construction; only the virtual record poisons
+        products).  A sticky PE re-corrupts every recompute, exhausts
+        both attempts, and escalates with exact blame attached.
+        """
+        injector = self.injector if self._sdc_active else None
+        phys = int(self.pe_ids[pe])
+        for attempt in range(1, _MAX_SDC_ATTEMPTS + 1):
+            corruption = self._k_corruption.get(pe)
+            if attempt > 1 and corruption is not None:
+                del self._k_corruption[pe]
+                corruption = None
+                stats.repaired_blocks += 1
+                self._note_sdc(
+                    step, pe, "compute", "flip-k", "repaired",
+                    "virtual corruption scrubbed",
+                )
+            y = self.backend.compute_one(pe, x)
+            stats.recomputed_sdc += 1
+            self._note_sdc(
+                step, pe, "compute", kind,
+                "recomputed", f"attempt {attempt}",
+            )
+            if corruption is not None:
+                y[corruption.row] += (
+                    corruption.new - corruption.old
+                ) * x[corruption.col]
+            if injector is not None and injector.sticky(phys, step):
+                injector.flip_sdc(
+                    y, phys, step, salt=_SALT_STICKY, attempt=attempt
+                )
+                stats.injected_sdc += 1
+                self._note_sdc(
+                    step, pe, "compute", "sticky", "injected",
+                    f"re-corrupted recovery attempt {attempt}",
+                )
+            check = self._abft.check_compute(pe, x, y)
+            if check.ok:
+                y_locals[pe] = y
+                return check.checksum
+            stats.detected_sdc += 1
+            record_sdc_latency(0.0)
+            self._note_sdc(
+                step, pe, "compute", kind,
+                "detected", f"recovery attempt {attempt} still corrupt",
+            )
+        self._note_sdc(
+            step, pe, "compute", kind, "escalated",
+            f"{_MAX_SDC_ATTEMPTS} recomputes exhausted",
+        )
+        raise SdcFaultError(
+            f"PE {phys} product corrupt after {_MAX_SDC_ATTEMPTS} "
+            f"recomputes (superstep {step}) — persistent hardware fault",
+            pe=pe,
+            step=step,
+            phase="compute",
+        )
+
+    def _sdc_exchange_phase(
+        self,
+        x_locals: List[np.ndarray],
+        y_locals: List[np.ndarray],
+        pre: Optional[List[float]],
+        delivered: List[Tuple[BlockSend, np.ndarray]],
+        step: int,
+        stats: FaultStats,
+    ) -> None:
+        """Verify each PE's post-exchange partial against the incoming
+        payload sums; heal by replaying that PE's compute + summation."""
+        if self._abft is None or pre is None:
+            return
+        parts = self.num_parts
+        incoming_sum = [0.0] * parts
+        incoming_abs = [0.0] * parts
+        incoming_terms = [0] * parts
+        for send, payload in delivered:
+            incoming_sum[send.dst] += float(payload.sum())
+            incoming_abs[send.dst] += float(np.abs(payload).sum())
+            incoming_terms[send.dst] += payload.size
+        for pe in range(parts):
+            check = self._abft.check_exchange(
+                pe,
+                y_locals[pe],
+                pre[pe],
+                incoming_sum[pe],
+                incoming_abs[pe],
+                incoming_terms[pe],
+                x_locals[pe],
+            )
+            if check.ok:
+                continue
+            stats.detected_sdc += 1
+            record_sdc_latency(0.0)
+            self._note_sdc(
+                step, pe, "exchange", "flip-y", "detected",
+                f"|err| {check.error:.3e} > tol {check.tol:.3e}",
+            )
+            # Replay this PE alone: recompute the local product (plus
+            # any live virtual matrix delta, for bit-parity with the
+            # main path) and re-sum its delivered payloads in original
+            # application order.
+            y = self.backend.compute_one(pe, x_locals[pe])
+            corruption = self._k_corruption.get(pe)
+            if corruption is not None:
+                y[corruption.row] += (
+                    corruption.new - corruption.old
+                ) * x_locals[pe][corruption.col]
+            for send, payload in delivered:
+                if send.dst == pe:
+                    y[send.dof_dst] += payload
+            stats.recomputed_sdc += 1
+            self._note_sdc(
+                step, pe, "exchange", "flip-y", "recomputed",
+                "local replay from delivered payloads",
+            )
+            check = self._abft.check_exchange(
+                pe,
+                y,
+                pre[pe],
+                incoming_sum[pe],
+                incoming_abs[pe],
+                incoming_terms[pe],
+                x_locals[pe],
+            )
+            if not check.ok:
+                self._note_sdc(
+                    step, pe, "exchange", "flip-y", "escalated",
+                    "replay still fails the payload-sum check",
+                )
+                raise SdcFaultError(
+                    f"PE {int(self.pe_ids[pe])} post-exchange partial "
+                    f"corrupt after local replay (superstep {step})",
+                    pe=pe,
+                    step=step,
+                    phase="exchange",
+                )
+            y_locals[pe] = y
 
     def verify_against_global(
         self, global_stiffness: sp.spmatrix, rng_seed: int = 0

@@ -67,6 +67,7 @@ class SuperstepTrace(PhaseBreakdown):
     words_sent: np.ndarray  # per PE, this superstep
     blocks_sent: np.ndarray  # per PE, this superstep
     faults: Optional[FaultStats] = None  # None on the fault-free path
+    t_verify: float = 0.0  # ABFT check/heal time (0.0 when disabled)
 
     @property
     def total_words(self) -> int:
@@ -87,6 +88,7 @@ class SuperstepTrace(PhaseBreakdown):
             "t_comm": self.t_comm,
             "t_gather": self.t_gather,
             "t_smvp": self.t_smvp,
+            "t_verify": self.t_verify,
             "words_sent": [int(w) for w in self.words_sent],
             "blocks_sent": [int(b) for b in self.blocks_sent],
         }
@@ -112,6 +114,7 @@ class SuperstepTrace(PhaseBreakdown):
             t_comm=float(data["t_comm"]),
             t_gather=float(data["t_gather"]),
             t_smvp=float(data["t_smvp"]),
+            t_verify=float(data.get("t_verify", 0.0)),
             words_sent=np.asarray(data["words_sent"], dtype=np.int64),
             blocks_sent=np.asarray(data["blocks_sent"], dtype=np.int64),
             faults=faults,
@@ -156,6 +159,7 @@ class TraceLog:
             "t_comp_total": float(sum(t.t_comp for t in self.traces)),
             "t_comm_total": float(sum(t.t_comm for t in self.traces)),
             "t_smvp_total": float(sum(t.t_smvp for t in self.traces)),
+            "t_verify_total": float(sum(t.t_verify for t in self.traces)),
             "words_total": sum(t.total_words for t in self.traces),
             "blocks_total": sum(t.total_blocks for t in self.traces),
         }

@@ -406,6 +406,45 @@ def record_fault_stats(stats: object, component: str) -> None:
             events.inc(value, kind=field_name, component=component)
 
 
+#: Detection-latency buckets, in supersteps (0 = caught inline).
+SDC_LATENCY_BUCKETS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def record_sdc_event(event: object) -> None:
+    """Fold one silent-data-corruption event into the SDC counters.
+
+    Duck-typed like :func:`record_fault_stats` — the telemetry layer
+    never imports :mod:`repro.smvp.abft`.  Expects the attribute shape
+    of ``abft.SdcEvent``: ``action`` (injected / detected / recomputed
+    / repaired / escalated / escaped), ``phase`` (input / compute /
+    exchange), ``kind`` (flip-x / flip-y / flip-k / sticky), ``pe``,
+    and ``physical_pe``.
+    """
+    reg = _REGISTRY
+    if reg is None or event is None:
+        return
+    reg.counter(
+        "repro_sdc_events_total",
+        "silent-data-corruption injections/detections/recoveries",
+    ).inc(
+        action=getattr(event, "action", "unknown"),
+        phase=getattr(event, "phase", "unknown"),
+        kind=getattr(event, "kind", "unknown"),
+        pe=getattr(event, "physical_pe", -1),
+    )
+
+
+def record_sdc_latency(supersteps: float) -> None:
+    """Observe one SDC detection latency (in supersteps) if recording."""
+    reg = _REGISTRY
+    if reg is not None:
+        reg.histogram(
+            "repro_sdc_detection_latency_supersteps",
+            SDC_LATENCY_BUCKETS,
+            "supersteps between an SDC injection and its detection",
+        ).observe(supersteps)
+
+
 def record_eviction(event: object) -> None:
     """Fold one PE-eviction event into the resilience counters.
 
