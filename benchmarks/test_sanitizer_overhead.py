@@ -1,0 +1,104 @@
+"""Sanitizer overhead bench: the REPRO_SAN-off hot path must stay free.
+
+With the sanitizer off, ``multiply`` pays one ``is None`` test per
+superstep — nanoseconds against a ~millisecond superstep.  This bench
+times the 8-PE sf10e instance three ways — a manually inlined phase
+sequence that bypasses the wrapper entirely (the seed-executor
+equivalent), the sanitizer-off ``multiply``, and the sanitizer-on
+(tracked-array) path — and asserts the off-path median stays within
+1.1x of the bypass.  The sanitizer-on ratio is recorded but not
+gated: tracked views are a diagnostic mode, not a production path.
+Results land in ``benchmarks/output/BENCH_sanitizer.json``.
+"""
+
+import json
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.fem.material import materials_from_model
+from repro.mesh.instances import get_instance
+from repro.partition.base import partition_mesh
+from repro.smvp.executor import DistributedSMVP
+from repro.util.clock import now
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+INSTANCE = "sf10e"
+PES = 8
+REPS = 9
+
+#: Allowed ratio of the sanitizer-off median over the bypass median.
+MAX_DISABLED_OVERHEAD = 1.1
+
+
+def _median_time(fn, x):
+    fn(x)  # warmup
+    samples = []
+    for _ in range(REPS):
+        t0 = now()
+        fn(x)
+        samples.append(now() - t0)
+    return median(samples)
+
+
+def _bypass_multiply(smvp):
+    """The superstep with no sanitizer (or telemetry) wrapper at all."""
+
+    def run(x):
+        x_locals = smvp.scatter(x)
+        y_locals = smvp.backend.compute(x_locals)
+        y_locals, _record = smvp.communication_phase(y_locals)
+        return smvp.gather(y_locals)
+
+    return run
+
+
+def test_disabled_sanitizer_is_free():
+    inst = get_instance(INSTANCE)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    partition = partition_mesh(mesh, PES, seed=0)
+    x = np.random.default_rng(0).standard_normal(3 * mesh.num_nodes)
+
+    with DistributedSMVP(
+        mesh, partition, materials, sanitizer=False
+    ) as smvp:
+        assert smvp.sanitizer is None
+        t_bypass = _median_time(_bypass_multiply(smvp), x)
+        t_disabled = _median_time(smvp.multiply, x)
+        y_plain = smvp.multiply(x)
+
+    with DistributedSMVP(
+        mesh, partition, materials, sanitizer=True
+    ) as sanitized:
+        t_enabled = _median_time(sanitized.multiply, x)
+        y_tracked = sanitized.multiply(x)
+        findings = len(sanitized.sanitizer.findings)
+
+    ratio = t_disabled / t_bypass
+    payload = {
+        "instance": INSTANCE,
+        "pes": PES,
+        "repetitions": REPS,
+        "t_bypass_s": t_bypass,
+        "t_disabled_s": t_disabled,
+        "t_enabled_s": t_enabled,
+        "disabled_over_bypass": ratio,
+        "enabled_over_bypass": t_enabled / t_bypass,
+        "clean_run_findings": findings,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_sanitizer.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # The sanitizer must never change the numbers, on or off — and a
+    # clean engine must stay clean under tracking.
+    assert np.array_equal(y_plain, y_tracked)
+    assert findings == 0
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"sanitizer-off multiply is {ratio:.2f}x the bypass path "
+        f"({t_disabled:.3e}s vs {t_bypass:.3e}s)"
+    )

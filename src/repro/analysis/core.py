@@ -73,6 +73,7 @@ def _ensure_rules_loaded() -> None:
         api_rules,
         determinism,
         exception_rules,
+        ownership,
         print_rules,
         schedule_check,
         units,
@@ -84,7 +85,9 @@ def iter_target_files(paths: Sequence[str]) -> List[str]:
 
     Directories are walked recursively for ``.py`` files and
     ``*schedule*.json`` golden files; explicit file arguments are taken
-    as-is.  Hidden directories and ``__pycache__`` are skipped.
+    as-is.  Hidden directories, ``__pycache__``, and ``lint_fixtures``
+    directories (deliberate-violation corpora — lintable only when
+    named as the walk root) are skipped.
     """
     out: List[str] = []
     for path in paths:
@@ -97,7 +100,9 @@ def iter_target_files(paths: Sequence[str]) -> List[str]:
             dirnames[:] = sorted(
                 d
                 for d in dirnames
-                if not d.startswith(".") and d != "__pycache__"
+                if not d.startswith(".")
+                and d != "__pycache__"
+                and d != "lint_fixtures"
             )
             for name in sorted(filenames):
                 if name.endswith(".py") or (
@@ -176,6 +181,52 @@ def lint_paths(
         findings.extend(lint_file(path, rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def pragma_report(paths: Sequence[str]) -> Dict[str, object]:
+    """Count ``# repro-lint: ignore`` pragmas under ``paths``.
+
+    The *pragma budget*: every suppression is an intentional exception
+    and the CI lint job prints this tally so growth is visible in
+    review.  Returns ``{"total", "by_rule", "by_file", "skip_files"}``
+    (a bare ``ignore`` counts under ``"*"``).
+    """
+    by_rule: Dict[str, int] = {}
+    by_file: Dict[str, int] = {}
+    skip_files: List[str] = []
+    for path in iter_target_files(paths):
+        if path.endswith(".json"):
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if pragmas.file_skipped(lines):
+            skip_files.append(path)
+            continue
+        for line in lines:
+            rules = pragmas.parse_line_pragma(line)
+            if rules is None:
+                continue
+            by_file[path] = by_file.get(path, 0) + 1
+            for rule in sorted(rules):
+                by_rule[rule] = by_rule.get(rule, 0) + 1
+    return {
+        "total": sum(by_file.values()),
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_file": dict(sorted(by_file.items())),
+        "skip_files": sorted(skip_files),
+    }
+
+
+def render_pragma_report(report: Dict[str, object]) -> str:
+    """Human-readable pragma-budget tally for the CI lint job."""
+    lines = [f"pragma budget: {report['total']} suppression(s)"]
+    for rule, count in report["by_rule"].items():  # type: ignore[union-attr]
+        lines.append(f"  rule {rule}: {count}")
+    for path, count in report["by_file"].items():  # type: ignore[union-attr]
+        lines.append(f"  {path}: {count}")
+    for path in report["skip_files"]:  # type: ignore[union-attr]
+        lines.append(f"  skip-file: {path}")
+    return "\n".join(lines) + "\n"
 
 
 def render_text(findings: Sequence[Finding]) -> str:

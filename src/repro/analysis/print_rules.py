@@ -8,7 +8,8 @@
     prints interleave with rendered tables and corrupt golden output.
     Presentation layers are exempt: CLI entry-point modules
     (``cli.py``), the table generators (anything under ``tables/``),
-    and dedicated renderers (modules named ``render*.py``).
+    dedicated renderers (modules named ``render*.py``), and runnable
+    demo scripts (anything under ``examples/``).
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ def _exempt(path: str) -> bool:
     if base == "cli.py" or base.startswith("render"):
         return True
     parts = norm.split(os.sep)
-    return "tables" in parts[:-1]
+    return "tables" in parts[:-1] or "examples" in parts[:-1]
 
 
 @register
@@ -34,7 +35,7 @@ class NoPrintRule(Rule):
     name = "no-print"
     description = (
         "bare print() in library code; return data or use the "
-        "telemetry registry (CLI / tables / render* modules exempt)"
+        "telemetry registry (CLI / tables / render* / examples exempt)"
     )
 
     def check_python(self, path, source, tree):

@@ -27,6 +27,14 @@
     source tree (and golden ``*schedule*.json`` files).  Exits 1 on
     findings; gates CI.
 
+``repro-san``
+    Dynamic BSP race detection: run supersteps with tracked per-PE
+    arrays and check every access against the ownership map and
+    exchange schedule (exact (pe, step, phase, dof) blame).  With
+    ``--racy MODE``, runs the seeded race-injection fixture and
+    verifies the detector catches every injected race; gates CI's
+    race job.
+
 ``repro-metrics``
     The observability surface: run an instrumented workload and dump
     the metrics registry (``snapshot``), export a Chrome-trace/Perfetto
@@ -496,6 +504,25 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--pragma-report",
+        action="store_true",
+        help=(
+            "also print the pragma budget: every "
+            "`# repro-lint: ignore` suppression under the target "
+            "paths, tallied by rule and file"
+        ),
+    )
+    parser.add_argument(
+        "--pragma-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fail (exit 1) when the pragma count exceeds N "
+            "(implies --pragma-report)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -509,11 +536,177 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
         findings = lint_paths(args.paths, rules=args.rules)
     except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
+    over_budget = False
+    if args.pragma_report or args.pragma_budget is not None:
+        from repro.analysis.core import pragma_report, render_pragma_report
+
+        report = pragma_report(args.paths)
+        sys.stdout.write(render_pragma_report(report))
+        if (
+            args.pragma_budget is not None
+            and report["total"] > args.pragma_budget
+        ):
+            print(
+                f"pragma budget exceeded: {report['total']} > "
+                f"{args.pragma_budget}"
+            )
+            over_budget = True
     if args.json:
         print(render_json(findings))
     else:
         sys.stdout.write(render_text(findings))
-    return 1 if findings else 0
+    return 1 if findings or over_budget else 0
+
+
+def main_san(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-san``: the dynamic BSP race detector.
+
+    Runs a short power-iteration workload through the distributed
+    executor with the superstep sanitizer recording every per-(PE,
+    superstep, phase) read/write dof set and checking it against the
+    ownership map and exchange schedule.  ``--racy MODE`` swaps in the
+    seeded race-injection fixture and additionally verifies the
+    detector blamed every injected race exactly.
+
+    Exit status: 0 clean, 1 findings reported, 2 usage error, 4 the
+    racy fixture injected a race the sanitizer missed (detector
+    regression — this is what the CI race job guards).
+    """
+    import numpy as np
+
+    from repro.fem import materials_from_model
+    from repro.mesh.instances import get_instance, instance_names
+    from repro.partition.base import partition_mesh
+    from repro.smvp.backends import backend_names
+    from repro.smvp.executor import DistributedSMVP
+    from repro.smvp.kernels import kernel_names
+    from repro.smvp.racy import RACE_MODES, make_racy, verify_detection
+
+    parser = argparse.ArgumentParser(
+        prog="repro-san",
+        description=(
+            "Dynamic BSP race detection: run supersteps with tracked "
+            "per-PE arrays and check every recorded access against the "
+            "ownership map and the exchange schedule's happens-before "
+            "order. Reports racy write/write pairs, non-owner writes, "
+            "and stale-ghost reads with exact (pe, step, phase, dof) "
+            "blame."
+        ),
+        epilog=(
+            "Exit status: 0 clean, 1 findings, 2 usage error, 4 an "
+            "injected race went undetected (--racy only)."
+        ),
+    )
+    parser.add_argument(
+        "--instance",
+        default="sf10e",
+        choices=list(instance_names()),
+        help="mesh instance (default: sf10e)",
+    )
+    parser.add_argument("--pes", type=int, default=8, help="number of PEs")
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument(
+        "--kernel", default="csr", choices=list(kernel_names())
+    )
+    parser.add_argument(
+        "--backend",
+        default="threaded",
+        choices=list(backend_names()),
+        help="execution backend (default: threaded)",
+    )
+    parser.add_argument(
+        "--racy",
+        default=None,
+        choices=sorted(RACE_MODES),
+        metavar="MODE",
+        help=(
+            "run the seeded race-injection fixture instead of the "
+            f"clean engine (modes: {', '.join(sorted(RACE_MODES))})"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    inst = get_instance(args.instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    partition = partition_mesh(mesh, args.pes)
+
+    if args.racy is not None:
+        smvp = make_racy(
+            mesh,
+            partition,
+            materials,
+            args.racy,
+            seed=args.seed,
+            kernel=args.kernel,
+            backend=args.backend,
+            strict=False,
+        )
+    else:
+        smvp = DistributedSMVP(
+            mesh,
+            partition,
+            materials,
+            kernel=args.kernel,
+            backend=args.backend,
+            sanitizer=True,
+        )
+        smvp.sanitizer.strict = False
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(3 * mesh.num_nodes)
+    try:
+        for _step in range(args.steps):
+            y = smvp.multiply(x)
+            x = y / np.linalg.norm(y)  # power iteration keeps it bounded
+    finally:
+        smvp.close()
+
+    san = smvp.sanitizer
+    missed = []
+    if args.racy is not None:
+        missed = verify_detection(smvp.injected, san.findings)
+
+    if args.json:
+        import json as _json
+        from dataclasses import asdict
+
+        print(
+            _json.dumps(
+                {
+                    "version": 1,
+                    "summary": san.summary(),
+                    "findings": [asdict(f) for f in san.findings],
+                    "injected": (
+                        [asdict(r) for r in smvp.injected]
+                        if args.racy is not None
+                        else []
+                    ),
+                    "missed": [asdict(r) for r in missed],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        sys.stdout.write(san.render_report())
+        if args.racy is not None:
+            total = len(smvp.injected)
+            print(
+                f"repro-san --racy {args.racy}: detected "
+                f"{total - len(missed)}/{total} injected race(s)"
+            )
+            for race in missed:
+                print(f"  MISSED: {race}")
+    if missed:
+        return 4
+    return 1 if san.findings else 0
 
 
 def main_measure(argv: Optional[List[str]] = None) -> int:

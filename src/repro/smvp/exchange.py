@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.ownership import exchange_phase, reads_ghosts
 from repro.faults.detection import FaultStats, block_checksum, verify_block
 from repro.faults.errors import ExchangeFaultError
 from repro.faults.injector import BlockFault, FaultInjector
@@ -69,6 +70,7 @@ class BlockSend:
 PairTable = Sequence[Tuple[int, int, np.ndarray, np.ndarray]]
 
 
+@reads_ghosts("y_locals")
 def build_sends(y_locals: List[np.ndarray], pairs: PairTable) -> List[BlockSend]:
     """Snapshot the directed send buffers for every sharing pair.
 
@@ -86,6 +88,7 @@ def build_sends(y_locals: List[np.ndarray], pairs: PairTable) -> List[BlockSend]
     return sends
 
 
+@exchange_phase("y_locals")
 def apply_sends(
     y_locals: List[np.ndarray], delivered: Sequence[Tuple[BlockSend, np.ndarray]]
 ) -> List[np.ndarray]:

@@ -41,6 +41,8 @@ from repro.analysis.contracts import (
     check_csr_contract,
     check_schedule_contract,
 )
+from repro.analysis.ownership import owns
+from repro.analysis.sanitizer import SuperstepSanitizer, sanitizer_enabled
 from repro.faults.detection import FaultStats, block_checksum, verify_block
 from repro.faults.errors import SdcFaultError
 from repro.faults.injector import FaultInjector, SdcTarget
@@ -143,6 +145,7 @@ class DistributedSMVP:
         trace_sink: Optional[TraceSink] = None,
         abft: bool = False,
         pe_ids: Optional[Sequence[int]] = None,
+        sanitizer: Optional[bool] = None,
     ) -> None:
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.kernel_name = self.kernel.name
@@ -249,6 +252,33 @@ class DistributedSMVP:
                 (3 * nodes[mine][:, None] + dof3).ravel()
             )
 
+        # Superstep sanitizer (REPRO_SAN=1, or sanitizer=True): checks
+        # every multiply's access sets against the ownership map and
+        # exchange schedule.  Off (the default), the only cost is one
+        # `is None` test per multiply — the hot path is untouched.
+        use_sanitizer = (
+            sanitizer_enabled() if sanitizer is None else bool(sanitizer)
+        )
+        self.sanitizer: Optional[SuperstepSanitizer] = (
+            self._build_sanitizer() if use_sanitizer else None
+        )
+
+    def _build_sanitizer(self, strict: bool = True) -> SuperstepSanitizer:
+        """Sanitizer bound to this executor's ownership + schedule maps."""
+        dof3 = np.arange(3)
+        expected: Dict[Tuple[int, int], np.ndarray] = {}
+        for a, b, ia, ib in self._pairs:
+            expected[(a, b)] = (3 * ib[:, None] + dof3).ravel()
+            expected[(b, a)] = (3 * ia[:, None] + dof3).ravel()
+        return SuperstepSanitizer(
+            num_parts=self.num_parts,
+            local_sizes=[3 * len(n) for n in self.local_nodes],
+            owned_dofs=self._gather_src,
+            expected_sends=expected,
+            ownership_hash=self.distribution.ownership_hash,
+            strict=strict,
+        )
+
     @property
     def num_parts(self) -> int:
         return self.partition.num_parts
@@ -322,8 +352,14 @@ class DistributedSMVP:
             trace_sink=self.trace_sink,
             abft=self.abft_enabled,
             pe_ids=survivor_ids,
+            sanitizer=self.sanitizer is not None,
         )
         new._superstep = self._superstep
+        if self.sanitizer is not None:
+            # The successor's sanitizer is freshly bound to the *new*
+            # ownership map (rebuilt atomically with the distribution);
+            # it keeps appending to the same run-level report.
+            new.sanitizer.adopt(self.sanitizer)
         new._quarantined = frozenset(
             redistribution.survivor_map[pe]
             for pe in self._quarantined
@@ -429,6 +465,8 @@ class DistributedSMVP:
         )
         if self._abft is not None or self._sdc_active:
             return self._multiply_verified(x_global)
+        if self.sanitizer is not None:
+            return self._multiply_sanitized(x_global)
         sink = self.trace_sink
         if sink is None:
             x_locals = self.scatter(x_global)
@@ -464,6 +502,44 @@ class DistributedSMVP:
         return y_global
 
     __call__ = multiply
+
+    # -- REPRO_SAN: the sanitized superstep --------------------------------
+
+    def _multiply_sanitized(self, x_global: np.ndarray) -> np.ndarray:
+        """The superstep with the race sanitizer's tracked views.
+
+        Each phase runs on :class:`TrackedArray` views of the per-PE
+        vectors (same memory, same bits) and the sanitizer checks the
+        recorded access sets after every phase: input mutations and
+        aliased outputs after compute, schedule conformance after the
+        exchange, owned-dof discipline after gather.  Strict mode
+        raises :class:`~repro.analysis.sanitizer.SanitizerError` with
+        exact (pe, step, phase, dof) blame before the corrupt result
+        reaches the caller.
+
+        The verified (ABFT/SDC) path takes precedence over the
+        sanitizer — its own checks already police the data; sanitized
+        runs skip trace emission to keep the instrumented path simple.
+        """
+        san = self.sanitizer
+        san.begin_step(self._superstep, self.distribution)
+        x_locals = self.scatter(x_global)
+        x_tracked = san.wrap(x_locals, "x")
+        san.set_phase("compute")
+        y_locals = self.compute_phase(x_tracked)
+        san.check_compute(y_locals)
+        y_tracked = san.wrap(y_locals, "y")
+        san.set_phase("exchange")
+        collector: List[Tuple[BlockSend, np.ndarray]] = []
+        y_tracked, _record = self.communication_phase(
+            y_tracked, collector=collector
+        )
+        san.check_exchange(collector)
+        san.set_phase("gather")
+        y_global = self.gather(y_tracked)
+        san.check_gather()
+        san.end_step()
+        return y_global
 
     # -- ABFT: the verified superstep --------------------------------------
 
@@ -666,7 +742,7 @@ class DistributedSMVP:
         # Re-apply every live matrix corruption to this superstep's
         # products — the persistent fault poisons each compute until
         # detection scrubs it.
-        for pe, corruption in self._k_corruption.items():
+        for pe, corruption in sorted(self._k_corruption.items()):
             y_locals[pe][corruption.row] += (
                 corruption.new - corruption.old
             ) * x_locals[pe][corruption.col]
@@ -775,6 +851,7 @@ class DistributedSMVP:
             f"word {word} bit {bit} (dof {row},{col})",
         )
 
+    @owns("y_locals", pe="pe")
     def _recover_compute(
         self,
         pe: int,

@@ -56,7 +56,7 @@ class TestFaceTemplates:
         # Every template's triangles must tile the unit quad exactly.
         from repro.mesh.stuffing import _POS_UV
 
-        for (pattern, anti), tris in _TEMPLATES.items():
+        for (pattern, anti), tris in sorted(_TEMPLATES.items()):
             area = 0.0
             for a, b, c in tris:
                 pa, pb, pc = _POS_UV[a], _POS_UV[b], _POS_UV[c]

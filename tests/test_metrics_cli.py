@@ -82,7 +82,7 @@ class TestMetricsTimeline:
         # Both the superstep phases and the upstream stage spans appear.
         names = {e.get("name") for e in events if e["ph"] == "X"}
         assert {"compute", "exchange"} <= names
-        assert any(n.startswith("partition.") for n in names)
+        assert any(n.startswith("partition.") for n in sorted(names))
 
     def test_from_trace_conversion(self, tmp_path, capsys):
         assert main_trace(QUICK + ["--json"]) == 0

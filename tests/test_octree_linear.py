@@ -91,7 +91,7 @@ class TestRefinement:
         a = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=5, **kwargs)
         b = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=5, **kwargs)
         c = LinearOctree.build(box, UniformSizingField(0.3), dither_seed=6, **kwargs)
-        for level in set(a.levels) | set(b.levels):
+        for level in sorted(set(a.levels) | set(b.levels)):
             assert np.array_equal(a.levels[level], b.levels[level])
         assert a.leaf_count == b.leaf_count
         # A different seed generally dithers differently (0.3 is inside

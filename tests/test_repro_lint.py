@@ -11,11 +11,26 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import ALL_RULES, lint_paths, render_json, render_text
+from repro.analysis import (
+    ALL_RULES,
+    lint_paths,
+    pragma_report,
+    render_json,
+    render_pragma_report,
+    render_text,
+)
+from repro.analysis.core import _ensure_rules_loaded
 from repro.cli import main_lint
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src"
+REPO = Path(__file__).parent.parent
+
+# Parametrizing over the catalog needs it populated at collection time.
+_ensure_rules_loaded()
+
+#: Rules that lint Python source (everything but the JSON schedule rule).
+PY_RULES = sorted(set(ALL_RULES) - {"schedule-invariant"})
 
 
 @pytest.fixture(scope="module")
@@ -124,11 +139,56 @@ class TestFixtureDetection:
         for clean in ("clean_module", "good_schedule"):
             assert not [f for f in fixture_findings if clean in f.path]
 
+    def test_ownership_rules_fire_where_expected(self, fixture_findings):
+        own = [
+            f for f in fixture_findings if "ownership_violations" in f.path
+        ]
+        by_rule = {}
+        for f in own:
+            by_rule.setdefault(f.rule, []).append(f.line)
+        assert sorted(by_rule.pop("bsp-ownership")) == [13, 17]
+        assert by_rule.pop("ghost-read") == [37]
+        assert sorted(by_rule.pop("exchange-buffer-mutation")) == [50, 54]
+        assert by_rule.pop("bsp-reduction-order") == [59]
+        # The annotated twins (@owns / @exchange_phase / @reads_ghosts,
+        # range loops, sorted reductions) must all stay clean.
+        assert by_rule == {}
+
+    def test_prepare_purity_fires_where_expected(self, fixture_findings):
+        hits = [f for f in fixture_findings if "prepare_impure" in f.path]
+        assert {f.rule for f in hits} == {"prepare-purity"}
+        assert sorted(f.line for f in hits) == [13, 16, 28]
+        assert all("apply/prepare" in f.message for f in hits)
+
+    def test_engine_modules_carry_annotations(self):
+        # The vocabulary is adopted, not just defined: the exchange
+        # module declares its phase, the executor its owned writes.
+        exchange_py = (SRC / "repro" / "smvp" / "exchange.py").read_text()
+        executor_py = (SRC / "repro" / "smvp" / "executor.py").read_text()
+        assert "@exchange_phase(" in exchange_py
+        assert "@reads_ghosts(" in exchange_py
+        assert "@owns(" in executor_py
+
 
 class TestSourceTreeClean:
     def test_repro_lint_src_exits_zero(self):
         findings = lint_paths([str(SRC)])
         assert findings == [], render_text(findings)
+
+    def test_full_tree_lints_clean(self):
+        """Satellite guarantee: tests/benchmarks/examples lint clean too."""
+        paths = [
+            str(REPO / name)
+            for name in ("src", "tests", "benchmarks", "examples")
+        ]
+        findings = lint_paths(paths)
+        assert findings == [], render_text(findings)
+
+    def test_fixture_dir_pruned_from_tree_walks(self):
+        """Walking tests/ skips lint_fixtures; naming it lints it."""
+        tree = lint_paths([str(FIXTURES.parent)])
+        assert not [f for f in tree if "lint_fixtures" in f.path]
+        assert lint_paths([str(FIXTURES)])
 
 
 class TestEngine:
@@ -143,8 +203,49 @@ class TestEngine:
             "schedule-invariant",
             "kernel-registry",
             "no-print",
+            "no-bare-except",
+            "prepare-purity",
+            "bsp-ownership",
+            "ghost-read",
+            "exchange-buffer-mutation",
+            "bsp-reduction-order",
         }
         assert expected <= set(ALL_RULES)
+
+    def test_every_rule_has_fixture_coverage(self, fixture_findings):
+        """Every registered rule fires somewhere under lint_fixtures/ —
+        a rule nothing exercises is a rule nothing proves."""
+        fired = {f.rule for f in fixture_findings}
+        assert fired == set(ALL_RULES)
+
+    @pytest.mark.parametrize("rule", sorted(ALL_RULES))
+    def test_rules_filter_isolates_each_rule(self, rule):
+        only = lint_paths([str(FIXTURES)], rules=[rule])
+        assert only, f"--rules {rule} found nothing in the fixtures"
+        assert {f.rule for f in only} == {rule}
+
+    @pytest.mark.parametrize("rule", PY_RULES)
+    def test_pragma_suppresses_each_rule(
+        self, rule, fixture_findings, tmp_path
+    ):
+        """Appending `# repro-lint: ignore[rule]` to every finding line
+        silences exactly that rule — checked for the whole catalog."""
+        hits = [f for f in fixture_findings if f.rule == rule]
+        source = Path(hits[0].path)
+        lines = source.read_text().splitlines()
+        target_lines = {
+            f.line for f in hits if Path(f.path) == source
+        }
+        for line_no in sorted(target_lines):
+            lines[line_no - 1] += f"  # repro-lint: ignore[{rule}]"
+        copy = tmp_path / source.name
+        copy.write_text("\n".join(lines) + "\n")
+        # The relocation alone must not hide the findings...
+        control = tmp_path / f"control_{source.name}"
+        control.write_text(source.read_text())
+        assert lint_paths([str(control)], rules=[rule])
+        # ...the pragma must.
+        assert lint_paths([str(copy)], rules=[rule]) == []
 
     def test_rule_filter(self):
         only_units = lint_paths([str(FIXTURES)], rules=["unit-mismatch"])
@@ -170,6 +271,50 @@ class TestEngine:
         assert payload["count"] == len(fixture_findings)
         first = payload["findings"][0]
         assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+class TestPragmaReport:
+    def test_counts_named_bare_and_skip(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "import random\n"
+            "x = random.random()  # repro-lint: ignore[unseeded-random]\n"
+            "y = random.random()  # repro-lint: ignore\n"
+        )
+        (tmp_path / "b.py").write_text(
+            "# repro-lint: skip-file\n"
+            "import random\n"
+            "z = random.random()\n"
+        )
+        report = pragma_report([str(tmp_path)])
+        assert report["total"] == 2
+        assert report["by_rule"] == {"*": 1, "unseeded-random": 1}
+        assert report["by_file"] == {str(tmp_path / "a.py"): 2}
+        assert report["skip_files"] == [str(tmp_path / "b.py")]
+
+    def test_render(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "pass  # repro-lint: ignore[no-print]\n"
+        )
+        text = render_pragma_report(pragma_report([str(tmp_path)]))
+        assert "pragma budget: 1 suppression(s)" in text
+        assert "rule no-print: 1" in text
+
+    def test_cli_pragma_report_flag(self, capsys):
+        assert main_lint([str(SRC), "--pragma-report"]) == 0
+        out = capsys.readouterr().out
+        assert "pragma budget:" in out
+        assert "repro-lint: clean" in out
+
+    def test_cli_pragma_budget_gate(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text(
+            "pass  # repro-lint: ignore\n"
+            "pass  # repro-lint: ignore\n"
+        )
+        assert main_lint([str(tmp_path), "--pragma-budget", "2"]) == 0
+        capsys.readouterr()
+        assert main_lint([str(tmp_path), "--pragma-budget", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "pragma budget exceeded: 2 > 1" in out
 
 
 class TestCli:

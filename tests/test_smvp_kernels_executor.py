@@ -30,13 +30,13 @@ class TestKernels:
     def test_kernels_agree_with_dense(self, small_matrix, name):
         x = np.random.default_rng(1).standard_normal(30)
         expected = small_matrix.toarray() @ x
-        got = KERNELS[name](small_matrix, x)
+        got = KERNELS[name](small_matrix, x)  # repro-lint: ignore[kernel-registry]
         assert np.allclose(got, expected)
 
     def test_bsr_kernel_on_real_stiffness(self, demo_stiffness):
         x = np.random.default_rng(2).standard_normal(demo_stiffness.shape[1])
         bsr = sp.bsr_matrix(demo_stiffness, blocksize=(3, 3))
-        got = KERNELS["bsr3x3"](bsr, x)
+        got = KERNELS["bsr3x3"](bsr, x)  # repro-lint: ignore[kernel-registry]
         assert np.allclose(got, demo_stiffness @ x)
 
     def test_measure_tf(self, demo_stiffness):
