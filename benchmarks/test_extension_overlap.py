@@ -1,22 +1,49 @@
-"""Extension bench: communication/computation overlap.
+"""Extension bench: communication/computation overlap, model and measured.
 
 The paper's footnote 1 notes that overlapping the phases is possible
 "with difficult modifications" and deliberately models the non-
-overlapped program.  This bench quantifies what the modification would
-buy: the BSP simulator's overlap mode hides communication behind
-interior flops, and we sweep the efficiency gain across PE counts on
-T3E constants.
+overlapped program.  ``test_extension_overlap`` quantifies what the
+modification would buy in the BSP *model* (the simulator's overlap
+mode hides communication behind interior flops, swept across PE counts
+on T3E constants).
+
+``test_batched_overlap_measured`` is the promotion of that probe to a
+*measured* benchmark on the real engine: flat (standard phase order)
+vs overlap (boundary-first compute, exchange in flight during interior
+rows) backends across r ∈ {1, 4, 16} right-hand-side columns, plus the
+r=1×16 sequential baseline the block engine exists to beat.  Archives
+``benchmarks/output/BENCH_batched.json``; run with ``REPRO_LARGE=1``
+to measure on sf2e (~374k nodes), where the ≥4x per-superstep
+throughput acceptance gate is asserted.
 """
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 
+from repro.fem.material import materials_from_model
+from repro.mesh.instances import get_instance
 from repro.model.machine import CRAY_T3E
 from repro.partition.base import partition_mesh
-from repro.mesh.instances import get_instance
 from repro.simulate import BspSimulator
 from repro.smvp.distribution import DataDistribution
+from repro.smvp.executor import DistributedSMVP
 from repro.smvp.schedule import CommSchedule
 from repro.tables.render import Table
+from repro.util.clock import now
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+PES = 8
+REPS = 7
+RHS_VALUES = (1, 4, 16)
+#: Noise tolerance on the overlap-vs-flat CI gate, per instance:
+#: sf10e supersteps take single-digit milliseconds, so wire-thread
+#: startup jitter on loaded runners is a visible fraction of the
+#: measurement; sf2e amortizes it and gets the strict gate.
+OVERLAP_TOLERANCE = {"sf2e": 1.10, "sf10e": 1.30}
 
 
 def boundary_flops(dist: DataDistribution) -> np.ndarray:
@@ -81,3 +108,151 @@ def test_extension_overlap(benchmark, emit):
         boundary_flops_per_pe=boundary_flops(dist),
     )
     benchmark(lambda: sim.run("overlap"))
+
+
+def _best_of(reps, fn):
+    """Minimum wall time over ``reps`` calls (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = now()
+        fn()
+        best = min(best, now() - t0)
+    return best
+
+
+def test_batched_overlap_measured(emit):
+    instance = "sf2e" if os.environ.get("REPRO_LARGE") == "1" else "sf10e"
+    inst = get_instance(instance)
+    mesh, _ = inst.build()
+    materials = materials_from_model(mesh, inst.model())
+    partition = partition_mesh(mesh, PES, seed=0)
+    n = 3 * mesh.num_nodes
+    rng = np.random.default_rng(0)
+    x_cols = rng.standard_normal((n, max(RHS_VALUES)))
+
+    results = {}
+    reference = {}
+    for backend in ("serial", "overlap"):
+        per_r = {}
+        with DistributedSMVP(
+            mesh, partition, materials, backend=backend
+        ) as ds:
+            flops_1 = int(ds.flops_per_pe().sum())
+            for r in RHS_VALUES:
+                x = x_cols[:, 0].copy() if r == 1 else x_cols[:, :r].copy()
+                # A time-stepping caller reuses its output buffer, so
+                # the timed loop does too (out= keeps the pages warm).
+                out = np.empty(n if r == 1 else (n, r))
+                y = ds.multiply(x, out=out).copy()  # warmup
+                t = _best_of(REPS, lambda: ds.multiply(x, out=out))
+                # Phase breakdown via one traced repeat (min over REPS).
+                traces = []
+                ds.trace_sink = traces.append
+                _best_of(REPS, lambda: ds.multiply(x, out=out))
+                ds.trace_sink = None
+                per_r[str(r)] = {
+                    "t_smvp_s": t,
+                    "cols_per_s": r / t,
+                    "tf_ns": 1e9 * t / (flops_1 * r),
+                    "t_comp_s": min(tr.t_comp for tr in traces),
+                    "t_comm_s": min(tr.t_comm for tr in traces),
+                }
+                key = (backend, r)
+                reference[key] = y
+            # The r=1×16 sequential baseline: what serving 16 scenarios
+            # costs without the block engine (16 traversals, 16
+            # exchanges) — with the same warm-buffer courtesy.
+            seq_cols = [x_cols[:, j].copy() for j in range(max(RHS_VALUES))]
+            seq_out = np.empty(n)
+
+            def _sequential():
+                for col in seq_cols:
+                    ds.multiply(col, out=seq_out)
+
+            _sequential()  # warmup
+            per_r["sequential_16x1_s"] = _best_of(REPS, _sequential)
+        results[backend] = per_r
+
+    # Per-column bit-identity: every backend, every r, every column
+    # matches the serial vector engine exactly.
+    with DistributedSMVP(mesh, partition, materials) as ds:
+        y_vec = {
+            j: ds.multiply(x_cols[:, j].copy())
+            for j in range(max(RHS_VALUES))
+        }
+    for (backend, r), y in reference.items():
+        if r == 1:
+            assert np.array_equal(y, y_vec[0]), backend
+        else:
+            for j in range(r):
+                assert np.array_equal(y[:, j], y_vec[j]), (backend, r, j)
+
+    r_max = str(max(RHS_VALUES))
+    seq = results["serial"]["sequential_16x1_s"]
+    block_speedup = {
+        backend: seq / results[backend][r_max]["t_smvp_s"]
+        for backend in results
+    }
+    overlap_vs_flat = (
+        results["serial"][r_max]["t_smvp_s"]
+        / results["overlap"][r_max]["t_smvp_s"]
+    )
+    # Traversal amortization in the compute phase alone: how much of
+    # the paper's "one traversal, r columns" promise the kernel layer
+    # delivers, independent of scatter/gather overhead.
+    compute_speedup = {
+        backend: (
+            max(RHS_VALUES)
+            * results[backend]["1"]["t_comp_s"]
+            / results[backend][r_max]["t_comp_s"]
+        )
+        for backend in results
+    }
+    payload = {
+        "instance": instance,
+        "pes": PES,
+        "repetitions": REPS,
+        "rhs_values": list(RHS_VALUES),
+        "backends": results,
+        "block_speedup_r16": block_speedup,
+        "compute_speedup_r16": compute_speedup,
+        "overlap_vs_flat_r16": overlap_vs_flat,
+        "overlap_tolerance": OVERLAP_TOLERANCE[instance],
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_batched.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    table = Table(
+        title=f"Batched supersteps, measured on {instance} (p={PES})",
+        headers=["backend", "r", "t_smvp (ms)", "cols/s", "T_f ns/flop/col"],
+    )
+    for backend in ("serial", "overlap"):
+        for r in RHS_VALUES:
+            rec = results[backend][str(r)]
+            table.add_row(
+                backend,
+                r,
+                round(rec["t_smvp_s"] * 1e3, 3),
+                round(rec["cols_per_s"], 1),
+                round(rec["tf_ns"], 2),
+            )
+    table.add_note(
+        f"sequential 16x r=1 baseline: {seq * 1e3:.3f} ms; block r=16 "
+        f"speedup serial {block_speedup['serial']:.2f}x, overlap "
+        f"{block_speedup['overlap']:.2f}x"
+    )
+    emit("batched_overlap", table)
+
+    # CI gate: at r=16 the overlap backend must at least match the flat
+    # engine (tolerance absorbs wire-thread jitter on small meshes).
+    assert (
+        results["overlap"][r_max]["t_smvp_s"]
+        <= OVERLAP_TOLERANCE[instance] * results["serial"][r_max]["t_smvp_s"]
+    ), f"overlap slower than flat at r=16: {overlap_vs_flat:.2f}x"
+
+    # Acceptance gate (sf2e): one r=16 block superstep serves 16
+    # scenarios >= 4x faster than 16 sequential solves.
+    if instance == "sf2e":
+        assert max(block_speedup.values()) >= 4.0, block_speedup

@@ -1,14 +1,20 @@
 """API-boundary lint rules.
 
 ``kernel-registry``
-    Direct subscript access to the kernel dictionaries (``KERNELS[...]``
-    or ``KERNEL_REGISTRY[...]``) outside :mod:`repro.smvp.kernels`.
-    Dict pokes bypass the registry's validation and its error message
-    listing the available kernels, and they freeze callers onto the
-    legacy one-shot convention — resolve names through
-    ``repro.smvp.kernels.get_kernel`` instead, which hands back a
-    :class:`~repro.smvp.kernels.Kernel` with the prepare/apply split
-    that keeps format conversion out of timed regions.
+    Two kernel-protocol disciplines.  First: direct subscript access to
+    the kernel dictionaries (``KERNELS[...]`` or ``KERNEL_REGISTRY[...]``)
+    outside :mod:`repro.smvp.kernels`.  Dict pokes bypass the registry's
+    validation and its error message listing the available kernels, and
+    they freeze callers onto the legacy one-shot convention — resolve
+    names through ``repro.smvp.kernels.get_kernel`` instead, which hands
+    back a :class:`~repro.smvp.kernels.Kernel` with the prepare/apply
+    split that keeps format conversion out of timed regions.  Second: a
+    class that overrides ``apply_block`` (a native block product) must
+    declare ``supports_block`` at class level — dispatchers select the
+    block path off the flag, not off ``hasattr``, so a silent override
+    without the declaration is a block capability the engine will never
+    use (or, worse, a flag inherited as ``True`` from a parent whose
+    product the override no longer matches).
 
 ``prepare-purity``
     In-place mutation of a ``Kernel.prepare`` result outside an
@@ -48,12 +54,28 @@ def _imported_kernel_dicts(tree: ast.AST) -> Set[str]:
     return names
 
 
+def _declares_supports_block(cls: ast.ClassDef) -> bool:
+    """Whether a class body assigns ``supports_block`` at class level."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "supports_block":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "supports_block":
+                return True
+    return False
+
+
 @register
 class KernelRegistryAccessRule(Rule):
     name = "kernel-registry"
     description = (
-        "direct KERNELS[...] dict access outside the kernel module; "
-        "resolve kernels via repro.smvp.kernels.get_kernel(name)"
+        "direct KERNELS[...] dict access outside the kernel module, or "
+        "an apply_block override without a class-level supports_block "
+        "declaration; resolve kernels via get_kernel(name) and declare "
+        "block capability explicitly"
     )
 
     def check_python(self, path, source, tree):
@@ -86,6 +108,30 @@ class KernelRegistryAccessRule(Rule):
                     "split"
                 ),
             )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _declares_supports_block(node):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == "apply_block"
+                ):
+                    yield Finding(
+                        rule=self.name,
+                        path=path,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            f"class `{node.name}` overrides apply_block "
+                            "without declaring `supports_block` at class "
+                            "level; the engine dispatches block products "
+                            "off the flag, so declare it (True for a "
+                            "native block product, False to force the "
+                            "per-column fallback)"
+                        ),
+                    )
 
 
 #: Methods allowed to touch prepared state (the prepare/apply split).

@@ -134,7 +134,12 @@ class TrackedArray(np.ndarray):
 
     def _dofs(self, idx) -> np.ndarray:
         flat = np.arange(self.size).reshape(self.shape)
-        return np.atleast_1d(np.asarray(flat[idx])).ravel()
+        elems = np.atleast_1d(np.asarray(flat[idx])).ravel()
+        if self.ndim == 2 and self.shape[1] > 0:
+            # Block vectors are (ndofs, r): a dof is a *row*, and an
+            # access to any column of a row touches that dof.
+            return np.unique(elems // self.shape[1])
+        return elems
 
     def __getitem__(self, idx):
         log = self._san_log
@@ -162,9 +167,10 @@ def _union(chunks: List[np.ndarray]) -> np.ndarray:
 def _overlap_dofs(a: np.ndarray, b: np.ndarray) -> Tuple[int, ...]:
     """Dofs of ``a`` (its local numbering) whose memory ``b`` also maps.
 
-    Exact for C-contiguous 1-D buffers (the per-PE vector layout);
-    falls back to "unknown" (empty) otherwise — ``shares_memory`` has
-    already established the race either way.
+    Exact for C-contiguous buffers (the per-PE vector layout, 1-D, or
+    the block layout, (ndofs, r) with a dof per *row*); falls back to
+    "unknown" (empty) otherwise — ``shares_memory`` has already
+    established the race either way.
     """
     if not (a.flags.c_contiguous and b.flags.c_contiguous):
         return ()
@@ -176,6 +182,9 @@ def _overlap_dofs(a: np.ndarray, b: np.ndarray) -> Tuple[int, ...]:
         return ()
     start = (lo - a0) // a.itemsize
     stop = (hi - a0 + a.itemsize - 1) // a.itemsize
+    if a.ndim == 2 and a.shape[1] > 0:
+        width = a.shape[1]
+        start, stop = start // width, (stop + width - 1) // width
     return tuple(range(int(start), int(stop)))
 
 
@@ -300,14 +309,17 @@ class SuperstepSanitizer:
             )
         for a in range(len(y_locals)):
             ya = np.asarray(y_locals[a])
-            if ya.shape != (self.local_sizes[a],):
+            if ya.shape != (self.local_sizes[a],) and not (
+                ya.ndim == 2 and ya.shape[0] == self.local_sizes[a]
+            ):
                 self._emit(
                     "non-owner-write",
                     a,
                     "compute",
                     (),
                     f"output slot y[{a}] has shape {ya.shape}, expected "
-                    f"({self.local_sizes[a]},)",
+                    f"({self.local_sizes[a]},) or "
+                    f"({self.local_sizes[a]}, r)",
                 )
             for b in range(a + 1, len(y_locals)):
                 yb = np.asarray(y_locals[b])

@@ -65,6 +65,7 @@ def _run_traced_workload(
     backend: str,
     fault_rate: float,
     seed: int,
+    rhs: int = 1,
 ):
     """Run a short traced time-stepped simulation.
 
@@ -114,7 +115,7 @@ def _run_traced_workload(
         injector=injector,
     )
     log = TraceLog()
-    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp)
+    stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp, rhs=rhs)
     force = np.zeros(3 * mesh.num_nodes)
     force[: min(300, force.size)] = 1e9
     try:
@@ -191,6 +192,14 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         help="local SMVP kernel for the distributed executor",
     )
     parser.add_argument(
+        "--rhs",
+        type=int,
+        default=1,
+        metavar="R",
+        help="number of right-hand-side scenarios integrated in lock "
+        "step (block SMVP; 1 = the historical vector path)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -216,6 +225,8 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         make_backend(args.backend)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.rhs < 1:
+        parser.error("--rhs must be >= 1")
     if args.timeline_out and args.sequential:
         parser.error(
             "--timeline-out needs the distributed executor; "
@@ -261,7 +272,8 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
             RickerWavelet(frequency=1.0 / inst.period, amplitude=1e12),
         )
         stepper = ExplicitTimeStepper(
-            stiffness, mass, dt, damping_alpha=0.02, smvp=smvp
+            stiffness, mass, dt, damping_alpha=0.02, smvp=smvp,
+            rhs=args.rhs,
         )
         log = None
         if args.timeline_out:
@@ -731,6 +743,14 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         help="execution backend for the partitioned kernels (lmv/mmv)",
     )
     parser.add_argument(
+        "--rhs",
+        type=int,
+        default=1,
+        metavar="R",
+        help="right-hand-side columns per SMVP (block kernels; flops "
+        "count every column so T_f stays per-flop-per-column)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -744,6 +764,8 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"unknown kernels {unknown}; registered: {list(SUITE)}"
         )
+    if args.rhs < 1:
+        parser.error("--rhs must be >= 1")
     registry = None
     previous_registry = None
     if args.metrics_out:
@@ -758,6 +780,7 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
             repetitions=args.repetitions,
             kernels=kernels,
             backend=args.backend,
+            rhs=args.rhs,
         )
     finally:
         if registry is not None:
@@ -768,6 +791,8 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry import write_metrics
 
         print(f"wrote metrics to {write_metrics(registry, args.metrics_out)}")
+    if args.rhs > 1:
+        print(f"rhs={args.rhs} (block SMVP; flops count every column)")
     print(
         f"{'kernel':<8} {'p':>4} {'backend':<13} {'flops':>12} "
         f"{'s/SMVP':>12} {'T_f ns':>9} {'MFLOPS':>8}"
@@ -819,6 +844,14 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         help="uniform drop/bitflip/duplicate rate through the exchange "
         "middleware (0 = clean path)",
     )
+    parser.add_argument(
+        "--rhs",
+        type=int,
+        default=1,
+        metavar="R",
+        help="right-hand-side columns per superstep (block SMVP; "
+        "1 = the historical vector path)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--json",
@@ -841,6 +874,8 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 0.3:
         parser.error("--fault-rate must be in [0, 0.3]")
+    if args.rhs < 1:
+        parser.error("--rhs must be >= 1")
 
     registry = None
     previous_registry = None
@@ -859,6 +894,7 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             fault_rate=args.fault_rate,
             seed=args.seed,
+            rhs=args.rhs,
         )
     finally:
         if registry is not None:
@@ -871,7 +907,7 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         print(
             f"instance={args.instance} pes={args.pes} "
             f"kernel={args.kernel} backend={args.backend} "
-            f"fault_rate={args.fault_rate}"
+            f"fault_rate={args.fault_rate} rhs={args.rhs}"
         )
         print(log.render_table())
     if args.metrics_out:

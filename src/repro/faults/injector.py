@@ -240,7 +240,9 @@ class FaultInjector:
         )
         word = int(word_state % np.uint64(payload.size))
         bit = int(bit_state % np.uint64(64))
-        bits = payload.view(np.uint64)
+        # Flat view so block payloads (ndofs, r) corrupt a single
+        # element exactly like vector payloads do.
+        bits = payload.reshape(-1).view(np.uint64)
         bits[word] ^= np.uint64(1) << np.uint64(bit)
         return (word, bit)
 

@@ -89,6 +89,15 @@ class ExplicitTimeStepper:
         does — this is the cheap timestepper-level invariant backing up
         the per-superstep ABFT checks.  The guard only engages once the
         state is nonzero (a cold start legitimately grows from zero).
+    rhs:
+        Number of independent right-hand-side scenarios integrated in
+        lock step (default 1).  With ``rhs > 1`` the state is a
+        (3n, rhs) block, each step performs one *block* SMVP (one
+        matrix traversal amortized over all scenarios), and every
+        vector update broadcasts per column — column j of the
+        trajectory is bit-identical to an ``rhs=1`` run with that
+        column's forcing.  ``rhs=1`` keeps the historical vector path,
+        bit for bit.
     """
 
     def __init__(
@@ -100,6 +109,7 @@ class ExplicitTimeStepper:
         smvp: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         check_finite: bool = False,
         guard_growth: Optional[float] = None,
+        rhs: int = 1,
     ) -> None:
         mass = np.asarray(mass, dtype=np.float64)
         if stiffness.shape[0] != stiffness.shape[1]:
@@ -127,9 +137,16 @@ class ExplicitTimeStepper:
         if guard_growth is not None and guard_growth <= 1.0:
             raise ValueError("guard_growth must exceed 1.0")
         self.guard_growth = guard_growth
+        if rhs < 1:
+            raise ValueError("rhs must be >= 1")
+        self.rhs = int(rhs)
         n = stiffness.shape[0]
-        self.u = np.zeros(n)
-        self.u_prev = np.zeros(n)
+        if self.rhs > 1:
+            self.u = np.zeros((n, self.rhs))
+            self.u_prev = np.zeros((n, self.rhs))
+        else:
+            self.u = np.zeros(n)
+            self.u_prev = np.zeros(n)
         self.step_index = 0
 
     @property
@@ -175,11 +192,27 @@ class ExplicitTimeStepper:
         self.step_index = int(step_index)
 
     def step(self, force: Optional[np.ndarray] = None) -> StepRecord:
-        """Advance one time step; returns diagnostics."""
+        """Advance one time step; returns diagnostics.
+
+        With ``rhs > 1`` a 1-D ``force`` broadcasts to every scenario
+        column; a (3n, rhs) force drives each column independently.
+        """
         dt = self.dt
         ku = self._smvp(self.u)
-        accel = self.inv_mass * ((force if force is not None else 0.0) - ku)
-        half = 0.5 * self.damping_alpha * dt
+        if self.rhs > 1:
+            f = 0.0
+            if force is not None:
+                force = np.asarray(force, dtype=np.float64)
+                f = force[:, None] if force.ndim == 1 else force
+            accel = self.inv_mass[:, None] * (f - ku)
+            half = 0.5 * self.damping_alpha * dt
+            if np.ndim(half) == 1:
+                half = half[:, None]
+        else:
+            accel = self.inv_mass * (
+                (force if force is not None else 0.0) - ku
+            )
+            half = 0.5 * self.damping_alpha * dt
         u_next = (
             2.0 * self.u - (1.0 - half) * self.u_prev + dt * dt * accel
         ) / (1.0 + half)
@@ -207,11 +240,15 @@ class ExplicitTimeStepper:
         self.u = u_next
         self.step_index += 1
         diff = self.u - self.u_prev
+        if self.rhs > 1:
+            kinetic = float(np.sum(diff * diff) / (dt * dt))
+        else:
+            kinetic = float((diff @ diff) / (dt * dt))
         return StepRecord(
             step=self.step_index,
             time=self.time,
             max_displacement=float(np.abs(self.u).max()),
-            kinetic_proxy=float((diff @ diff) / (dt * dt)),
+            kinetic_proxy=kinetic,
         )
 
     def run(
@@ -250,7 +287,8 @@ class ExplicitTimeStepper:
         -------
         (records, seismograms)
             ``records`` is the list of :class:`StepRecord`;
-            ``seismograms`` is ``(num_steps, len(record_nodes), 3)`` or
+            ``seismograms`` is ``(num_steps, len(record_nodes), 3)``
+            (with an extra trailing ``rhs`` axis when ``rhs > 1``) or
             ``None``.
         """
         previous_sink = None
@@ -268,14 +306,20 @@ class ExplicitTimeStepper:
             seis = None
             if record_nodes is not None:
                 record_nodes = np.asarray(record_nodes, dtype=np.int64)
-                seis = np.zeros((num_steps, len(record_nodes), 3))
+                shape = (num_steps, len(record_nodes), 3)
+                if self.rhs > 1:
+                    shape = shape + (self.rhs,)
+                seis = np.zeros(shape)
             for k in range(num_steps):
                 force = force_at(self.time) if force_at is not None else None
                 rec = self.step(force)
                 records.append(rec)
                 if seis is not None:
                     dof = (3 * record_nodes[:, None] + np.arange(3)).ravel()
-                    seis[k] = self.u[dof].reshape(-1, 3)
+                    if self.rhs > 1:
+                        seis[k] = self.u[dof].reshape(-1, 3, self.rhs)
+                    else:
+                        seis[k] = self.u[dof].reshape(-1, 3)
                 if checkpoint is not None:
                     checkpoint.maybe_save(self)
             return records, seis

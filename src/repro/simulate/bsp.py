@@ -159,6 +159,17 @@ class BspSimulator:
         recompute of the afflicted PE's product.  ``None`` (default)
         models no verification and leaves every timing bit-identical
         to the pre-ABFT simulator.
+    rhs:
+        Number of right-hand-side columns per superstep (default 1).
+        A block superstep traverses the matrix once but performs
+        ``rhs`` times the flops and ships ``rhs`` words per shared dof,
+        while the *block count* (and hence the latency term ``B_i T_l``)
+        is unchanged — that is exactly Eq. (2) with an r-aware volume
+        term: ``T_comm = max_i (B_i T_l + r C_i T_w)``.  Modeled by
+        scaling the effective per-word and per-flop costs, so ``rhs=1``
+        is bit-identical to the historical simulator (``x * 1`` is
+        exact in IEEE-754).  ABFT verification checks every column, so
+        ``T_verify`` scales with ``rhs`` too.
     """
 
     def __init__(
@@ -169,9 +180,13 @@ class BspSimulator:
         boundary_flops_per_pe: Optional[np.ndarray] = None,
         injector: Optional[FaultInjector] = None,
         abft_flops_per_pe: Optional[np.ndarray] = None,
+        rhs: int = 1,
     ) -> None:
         machine.require_comm("the BSP simulator")
         check_schedule_contract(schedule)
+        if rhs < 1:
+            raise ValueError("rhs must be >= 1")
+        self.rhs = int(rhs)
         self.flops = np.asarray(flops_per_pe, dtype=np.float64)
         self.schedule = schedule
         self.machine = machine
@@ -193,12 +208,17 @@ class BspSimulator:
         ):
             raise ValueError("abft_flops_per_pe length must equal PE count")
         self.injector = injector
+        # Effective per-column costs: a block superstep does r times the
+        # flops and ships r times the words per block, at unchanged
+        # latency.  Exact at rhs=1 (multiplying a float by 1 is lossless).
+        self._tf = self.machine.tf * self.rhs
+        self._tw = self.machine.tw * self.rhs
 
     # -- per-PE communication busy times ---------------------------------
 
     def _comm_busy(self) -> np.ndarray:
-        """B_i T_l + C_i T_w for every PE."""
-        tl, tw = self.machine.tl, self.machine.tw
+        """B_i T_l + r C_i T_w for every PE."""
+        tl, tw = self.machine.tl, self._tw
         return (
             self.schedule.blocks_per_pe * tl + self.schedule.words_per_pe * tw
         )
@@ -246,12 +266,12 @@ class BspSimulator:
         if self.abft_flops is None:
             zeros = np.zeros_like(self.flops)
             return zeros, 0.0
-        verify = self.abft_flops * self.machine.tf
+        verify = self.abft_flops * self._tf
         return verify, float(verify.max()) if len(verify) else 0.0
 
     def _run_barrier(self) -> PhaseTimes:
         verify, t_verify = self._verify_times()
-        t_comp = float(((self.flops * self.machine.tf) + verify).max())
+        t_comp = float(((self.flops * self._tf) + verify).max())
         busy = self._comm_busy()
         t_comm = float(busy.max()) if len(busy) else 0.0
         return PhaseTimes(
@@ -279,7 +299,7 @@ class BspSimulator:
         """
         injector = self.injector
         cfg = injector.config
-        tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
+        tf, tl, tw = self._tf, self.machine.tl, self._tw
         stats = FaultStats()
         verify, t_verify = self._verify_times()
         abft_on = self.abft_flops is not None
@@ -349,7 +369,7 @@ class BspSimulator:
             stats.injected_duplicates += outcome.duplicates
             stats.duplicates_ignored += outcome.duplicates
             stats.retransmits += outcome.failures
-            stats.words_retransmitted += outcome.failures * msg.words
+            stats.words_retransmitted += outcome.failures * msg.words * self.rhs
             if not outcome.delivered:
                 # Retry budget exhausted: the run would fail over to a
                 # checkpoint restart; charge the restart penalty to both
@@ -369,7 +389,7 @@ class BspSimulator:
         )
 
     def _run_skewed(self) -> PhaseTimes:
-        tf, tl, tw = self.machine.tf, self.machine.tl, self.machine.tw
+        tf, tl, tw = self._tf, self.machine.tl, self._tw
         verify, t_verify = self._verify_times()
         # The compute check gates each PE's sends, so verification time
         # delays communication readiness like compute does.
@@ -411,7 +431,7 @@ class BspSimulator:
             raise ValueError("overlap mode needs boundary_flops_per_pe")
         if np.any(self.boundary_flops > self.flops):
             raise ValueError("boundary flops exceed total flops")
-        tf = self.machine.tf
+        tf = self._tf
         busy = self._comm_busy()
         verify, t_verify = self._verify_times()
         # Interior flops overlap communication, but the compute check

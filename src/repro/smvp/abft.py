@@ -94,10 +94,16 @@ class SdcEvent:
 
 
 class AbftCheck(NamedTuple):
-    """Outcome of one checksum comparison."""
+    """Outcome of one checksum comparison.
+
+    For a block product (n x r), ``checksum`` is the per-column
+    observed sum array (r,), and ``error``/``tol`` report the column
+    with the worst tolerance margin — the check fails if *any* column
+    fails, so a single flipped bit in an arbitrary column is caught.
+    """
 
     ok: bool
-    error: float  # |observed - expected|
+    error: float  # |observed - expected| (worst column for blocks)
     tol: float
     checksum: float  # sum(y) observed, reused by the exchange check
 
@@ -152,7 +158,28 @@ class AbftChecker:
     def check_compute(
         self, pe: int, x: np.ndarray, y: np.ndarray
     ) -> AbftCheck:
-        """Verify ``c^T y = w . x`` for one PE's local product."""
+        """Verify ``c^T y = w . x`` for one PE's local product.
+
+        For an n x r block the invariant holds per column — expected
+        ``w . X`` and observed ``Y.sum(axis=0)`` are (r,) vectors with
+        per-column tolerances, and every column must pass.
+        """
+        if y.ndim == 2:
+            expected = self.w[pe] @ x
+            observed = y.sum(axis=0)
+            scale = self.w_abs[pe] @ np.abs(x)
+            tol_cols = self.tol_factor * _EPS * self._terms[pe] * scale
+            err_cols = np.abs(observed - expected)
+            ok = bool(
+                np.all(np.isfinite(observed)) and np.all(err_cols <= tol_cols)
+            )
+            worst = int(np.argmax(err_cols - tol_cols))
+            return AbftCheck(
+                ok=ok,
+                error=float(err_cols[worst]),
+                tol=float(tol_cols[worst]),
+                checksum=observed,
+            )
         expected = float(self.w[pe] @ x)
         observed = float(y.sum())
         tol = self.tol(pe, x)
@@ -171,7 +198,28 @@ class AbftChecker:
         x: np.ndarray,
     ) -> AbftCheck:
         """Verify one PE's post-exchange partials against the incoming
-        payload checksums collected by the transport."""
+        payload checksums collected by the transport.
+
+        For blocks, ``pre_checksum``/``incoming_sum``/``incoming_abs``
+        are per-column (r,) arrays and every column must pass.
+        """
+        if y_post.ndim == 2:
+            expected = pre_checksum + incoming_sum
+            observed = y_post.sum(axis=0)
+            scale = self.w_abs[pe] @ np.abs(x) + np.abs(incoming_abs)
+            terms = self._terms[pe] + float(incoming_terms)
+            tol_cols = self.tol_factor * _EPS * terms * scale
+            err_cols = np.abs(observed - expected)
+            ok = bool(
+                np.all(np.isfinite(observed)) and np.all(err_cols <= tol_cols)
+            )
+            worst = int(np.argmax(err_cols - tol_cols))
+            return AbftCheck(
+                ok=ok,
+                error=float(err_cols[worst]),
+                tol=float(tol_cols[worst]),
+                checksum=observed,
+            )
         expected = pre_checksum + incoming_sum
         observed = float(y_post.sum())
         scale = float(self.w_abs[pe] @ np.abs(x)) + abs(incoming_abs)

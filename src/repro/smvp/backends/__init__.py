@@ -22,6 +22,13 @@ format (the kernel) and to the exchange protocol:
     ships only the x vectors — the closest in-process analogue to PEs
     with private memories.
 
+``overlap``
+    Serial products with a boundary/interior row split: each PE's
+    boundary rows (shared nodes) compute first, the exchange launches,
+    and the interior rows compute while blocks are in flight — the
+    paper's footnote-1 comm/comp overlap, bit-identical per column
+    because interior rows carry no shared dofs.
+
 Backends implement :class:`ExecutionBackend`: ``setup(kernel,
 matrices)`` prepares per-PE kernel states once (format conversion
 happens here, never per product), ``compute(x_locals)`` runs one
@@ -34,6 +41,7 @@ from __future__ import annotations
 from typing import Dict, Type
 
 from repro.smvp.backends.base import ExecutionBackend
+from repro.smvp.backends.overlap import OverlapBackend
 from repro.smvp.backends.serial import SerialBackend
 from repro.smvp.backends.shared_memory import SharedMemoryBackend
 from repro.smvp.backends.threaded import ThreadedBackend
@@ -43,6 +51,7 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ThreadedBackend.name: ThreadedBackend,
     SharedMemoryBackend.name: SharedMemoryBackend,
+    OverlapBackend.name: OverlapBackend,
 }
 
 
@@ -71,6 +80,7 @@ def make_backend(backend, **options) -> ExecutionBackend:
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
+    "OverlapBackend",
     "SerialBackend",
     "SharedMemoryBackend",
     "ThreadedBackend",

@@ -45,6 +45,19 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def compute_block(self, X_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """One compute phase over per-PE n x r blocks, in PE order.
+
+        Column j of each product must be bit-identical to the
+        corresponding entry of :meth:`compute` on the j-th columns —
+        backends batch the traversal, never change the values.
+        """
+        raise NotImplementedError
+
+    def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
+        """Recompute a single PE's block product (ABFT block recovery)."""
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any pools; the backend may not be used afterwards."""
 

@@ -39,6 +39,12 @@ def _apply_one(task: Tuple[int, np.ndarray]) -> np.ndarray:
     return kernel.apply(states[part], x)
 
 
+def _apply_one_block(task: Tuple[int, np.ndarray]) -> np.ndarray:
+    part, X = task
+    kernel, states = _WORKER_STATE
+    return kernel.apply_block(states[part], X)
+
+
 def default_workers(num_parts: int) -> int:
     """Worker count: one per PE, capped by host cores."""
     return max(1, min(num_parts, os.cpu_count() or 1))
@@ -85,6 +91,15 @@ class SharedMemoryBackend(ExecutionBackend):
         # float64 pickling is exact, so the bits match `compute`.
         pool = self._ensure_pool()
         return pool.apply(_apply_one, ((pe, x),))
+
+    def compute_block(self, X_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        count("repro_backend_compute_phases_total", backend=self.name)
+        pool = self._ensure_pool()
+        return pool.map(_apply_one_block, list(enumerate(X_locals)))
+
+    def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
+        pool = self._ensure_pool()
+        return pool.apply(_apply_one_block, ((pe, X),))
 
     def close(self) -> None:
         if self._pool is not None:

@@ -64,6 +64,15 @@ class ThreadedBackend(ExecutionBackend):
         # the recomputed product is bit-identical by construction.
         return self.kernel.apply(self.states[pe], x)
 
+    def compute_block(self, X_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        count("repro_backend_compute_phases_total", backend=self.name)
+        pool = self._ensure_pool()
+        apply_block = self.kernel.apply_block
+        return list(pool.map(apply_block, self.states, X_locals))
+
+    def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
+        return self.kernel.apply_block(self.states[pe], X)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

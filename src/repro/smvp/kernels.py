@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict
 
 import numpy as np
 import scipy.sparse as sp
+from scipy.sparse import _sparsetools
 
 from repro.util.clock import now
 
@@ -45,10 +46,24 @@ class Kernel:
 
     ``preferred_format`` names the assembly format ("csr" or "bsr")
     that makes ``prepare`` a no-op for matrices assembled natively.
+
+    Kernels may also accept an n x r *block* of right-hand sides
+    (``apply_block``), amortizing one matrix traversal over r columns.
+    ``supports_block`` declares that the kernel has a native block
+    product whose column j is bit-identical to ``apply(state, X[:,
+    j])``; the base-class fallback loops over columns, which guarantees
+    the same property for any kernel.  ``supports_row_split`` declares
+    that ``prepare`` on a row-sliced submatrix yields exactly the
+    corresponding rows of the full product (true for row-major formats,
+    false for kernels whose state derives from the full matrix shape,
+    e.g. triangular splits) — the overlap backend needs it to compute
+    boundary and interior rows separately.
     """
 
     name: str = "abstract"
     preferred_format: str = "csr"
+    supports_block: bool = False
+    supports_row_split: bool = True
 
     def prepare(self, matrix: sp.spmatrix) -> Any:
         raise NotImplementedError
@@ -56,9 +71,47 @@ class Kernel:
     def apply(self, state: Any, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def apply_block(self, state: Any, X: np.ndarray) -> np.ndarray:
+        """Product against an n x r block of right-hand sides.
+
+        Column j of the result is bit-identical to ``apply(state, X[:,
+        j])`` — block-capable kernels override this with a native block
+        product that has the same property; this fallback computes the
+        columns one by one.
+        """
+        Y = np.empty((state_rows(state), X.shape[1]), dtype=np.float64)
+        for j in range(X.shape[1]):
+            Y[:, j] = self.apply(state, X[:, j])
+        return Y
+
+    def apply_into(self, state: Any, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``apply`` into a caller-owned buffer (bit-identical result).
+
+        Buffer-reusing callers (the overlap backend's persistent split
+        buffers) pass the same ``out`` every superstep, so the output
+        pages stay resident instead of being faulted in fresh on every
+        allocation.  The fallback computes normally and copies.
+        """
+        out[...] = self.apply(state, x)
+        return out
+
+    def apply_block_into(
+        self, state: Any, X: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``apply_block`` into a caller-owned buffer (bit-identical)."""
+        out[...] = self.apply_block(state, X)
+        return out
+
     def __call__(self, matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
         """One-shot convenience: prepare + apply (not for timed loops)."""
         return self.apply(self.prepare(matrix), x)
+
+
+def state_rows(state: Any) -> int:
+    """Output row count of a prepared kernel state."""
+    if isinstance(state, tuple):  # e.g. (upper, strict_lower)
+        return state[0].shape[0]
+    return state.shape[0]
 
 
 class CsrKernel(Kernel):
@@ -66,12 +119,57 @@ class CsrKernel(Kernel):
 
     name = "csr"
     preferred_format = "csr"
+    supports_block = True
 
     def prepare(self, matrix: sp.spmatrix) -> sp.csr_matrix:
         return matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
 
     def apply(self, state: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
         return state @ x
+
+    def apply_block(self, state: sp.csr_matrix, X: np.ndarray) -> np.ndarray:
+        # scipy's CSR SpMM accumulates each output entry in row-major
+        # order, exactly like its matvec, so columns are bit-identical
+        # to per-column apply.
+        return state @ X
+
+    def apply_into(
+        self, state: sp.csr_matrix, x: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        # csr_matvec accumulates into out, so zero it first; the
+        # per-row summation order is exactly what `state @ x` runs.
+        if not x.flags.c_contiguous:
+            return super().apply_into(state, x, out)
+        out.fill(0.0)
+        n_row, n_col = state.shape
+        _sparsetools.csr_matvec(
+            n_row, n_col, state.indptr, state.indices, state.data, x, out
+        )
+        return out
+
+    def apply_block_into(
+        self, state: sp.csr_matrix, X: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        # Same SpMM loop scipy runs for `state @ X`, minus the fresh
+        # output allocation (first-touch page faults dominate the r=16
+        # product on large instances).  csr_matvecs accumulates into
+        # out, so zero it first — the axpy order per output entry is
+        # unchanged, keeping columns bit-identical to apply_block.
+        if not X.flags.c_contiguous:
+            return super().apply_block_into(state, X, out)
+        out.fill(0.0)
+        n_row, n_col = state.shape
+        _sparsetools.csr_matvecs(
+            n_row,
+            n_col,
+            X.shape[1],
+            state.indptr,
+            state.indices,
+            state.data,
+            X.ravel(),
+            out.ravel(),
+        )
+        return out
 
 
 class Bsr3x3Kernel(Kernel):
@@ -84,6 +182,7 @@ class Bsr3x3Kernel(Kernel):
 
     name = "bsr3x3"
     preferred_format = "bsr"
+    supports_block = True
 
     def prepare(self, matrix: sp.spmatrix) -> sp.bsr_matrix:
         if sp.isspmatrix_bsr(matrix) and matrix.blocksize == (3, 3):
@@ -92,6 +191,9 @@ class Bsr3x3Kernel(Kernel):
 
     def apply(self, state: sp.bsr_matrix, x: np.ndarray) -> np.ndarray:
         return state @ x
+
+    def apply_block(self, state: sp.bsr_matrix, X: np.ndarray) -> np.ndarray:
+        return state @ X
 
 
 class PythonCsrKernel(Kernel):
@@ -133,6 +235,11 @@ class SymmetricUpperKernel(Kernel):
 
     name = "symmetric-upper"
     preferred_format = "csr"
+    supports_block = True
+    # The prepared state is a triangular split of the *full* local
+    # matrix; preparing a row-sliced submatrix takes the triangle of
+    # the slice instead, which is a different product entirely.
+    supports_row_split = False
 
     def prepare(self, matrix: sp.spmatrix):
         csr = matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
@@ -143,6 +250,10 @@ class SymmetricUpperKernel(Kernel):
     def apply(self, state, x: np.ndarray) -> np.ndarray:
         upper, strict_lower = state
         return upper @ x + strict_lower @ x
+
+    def apply_block(self, state, X: np.ndarray) -> np.ndarray:
+        upper, strict_lower = state
+        return upper @ X + strict_lower @ X
 
 
 #: Named kernel registry.  Register new storage formats here (or via
@@ -267,6 +378,7 @@ def measure_tf(
     repetitions: int = 5,
     warmup: int = 1,
     rng_seed: int = 0,
+    rhs: int = 1,
 ) -> TfMeasurement:
     """Measure ``T_f`` for a kernel on a given local matrix.
 
@@ -275,18 +387,32 @@ def measure_tf(
     following the paper's flop accounting.  ``prepare`` runs once,
     outside the timed region — the measurement covers the product only,
     for every kernel.
+
+    With ``rhs > 1`` the timed product is the block product over an
+    n x rhs block and the flop count scales to ``2 * nnz * rhs`` — one
+    matrix traversal performs ``rhs`` columns' worth of flops, so
+    ``tf_ns`` stays the amortized time per flop *per column* and remains
+    directly comparable to the paper's single-vector tables (a batched
+    kernel simply shows a smaller T_f).
     """
+    if rhs < 1:
+        raise ValueError(f"rhs must be >= 1, got {rhs}")
     k = get_kernel(kernel)
     state = k.prepare(matrix)
     rng = np.random.default_rng(rng_seed)
-    x = rng.standard_normal(matrix.shape[1])
     nnz = matrix.nnz
-    flops = 2 * nnz
+    flops = 2 * nnz * rhs
+    if rhs == 1:
+        x = rng.standard_normal(matrix.shape[1])
+        product = k.apply
+    else:
+        x = rng.standard_normal((matrix.shape[1], rhs))
+        product = k.apply_block
     for _ in range(warmup):
-        k.apply(state, x)
+        product(state, x)
     t0 = now()
     for _ in range(repetitions):
-        k.apply(state, x)
+        product(state, x)
     elapsed = now() - t0
     per_product = elapsed / repetitions
     tf_ns = 1e9 * per_product / flops if flops else float("nan")

@@ -88,27 +88,27 @@ class RacyThreadedBackend(ThreadedBackend):
         self.injected: List[InjectedRace] = []
         self.race_step = 0
 
-    def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
-        if self.mode == "input-mutation":
-            victim = int(self.rng.integers(len(x_locals)))
-            dof = int(self.rng.integers(x_locals[victim].shape[0]))
-            # The write below IS the injected race the fixture exists for.
-            x_locals[victim][dof] += 1e-9  # repro-lint: ignore[bsp-ownership]
-            self.injected.append(
-                InjectedRace(
-                    self.mode, self.race_step, victim, "compute", (dof,)
-                )
-            )
-            return super().compute(x_locals)
+    def _inject_input_mutation(self, x_locals: Sequence[np.ndarray]) -> None:
+        victim = int(self.rng.integers(len(x_locals)))
+        dof = int(self.rng.integers(x_locals[victim].shape[0]))
+        # The write below IS the injected race the fixture exists for.
+        # On a block slot it lands on every column of the dof's row —
+        # still exactly one mutated dof.
+        x_locals[victim][dof] += 1e-9  # repro-lint: ignore[bsp-ownership]
+        self.injected.append(
+            InjectedRace(self.mode, self.race_step, victim, "compute", (dof,))
+        )
 
-        y = super().compute(x_locals)
+    def _inject_aliased_output(
+        self, y: List[np.ndarray]
+    ) -> List[np.ndarray]:
         a, b = sorted(
             int(i)
             for i in self.rng.choice(len(y), size=2, replace=False)
         )
-        na, nb = y[a].size, y[b].size
+        na, nb = y[a].shape[0], y[b].shape[0]
         overlap = int(min(3, na, nb))
-        buf = np.empty(na + nb - overlap, dtype=np.float64)
+        buf = np.empty((na + nb - overlap,) + y[a].shape[1:], dtype=np.float64)
         buf[:na] = y[a]
         buf[na - overlap :] = y[b]  # last writer wins: clobbers y[a]'s tail
         y[a] = buf[:na]
@@ -123,6 +123,18 @@ class RacyThreadedBackend(ThreadedBackend):
             )
         )
         return y
+
+    def compute(self, x_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if self.mode == "input-mutation":
+            self._inject_input_mutation(x_locals)
+            return super().compute(x_locals)
+        return self._inject_aliased_output(super().compute(x_locals))
+
+    def compute_block(self, X_locals: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if self.mode == "input-mutation":
+            self._inject_input_mutation(X_locals)
+            return super().compute_block(X_locals)
+        return self._inject_aliased_output(super().compute_block(X_locals))
 
 
 class RacySMVP(DistributedSMVP):

@@ -52,10 +52,16 @@ class KernelRun:
     flops: int
     seconds_per_smvp: float
     backend: str = "serial"  # execution backend (partitioned kernels)
+    rhs: int = 1  # right-hand-side columns per (block) SMVP
 
     @property
     def tf_ns(self) -> float:
-        """Amortized ns per flop (the paper's T_f)."""
+        """Amortized ns per flop (the paper's T_f).
+
+        ``flops`` already counts every column of a block run, so tf_ns
+        stays per-flop-per-column and comparable to the paper's tables
+        at any ``rhs``.
+        """
         return 1e9 * self.seconds_per_smvp / self.flops if self.flops else 0.0
 
     @property
@@ -83,6 +89,7 @@ def run_kernel(
     partition_method: str = "rcb",
     seed: int = 0,
     backend: str = "serial",
+    rhs: int = 1,
 ) -> KernelRun:
     """Build the instance, assemble, and time one suite kernel.
 
@@ -90,11 +97,14 @@ def run_kernel(
     (lmv/mmv).  Flop accounting follows the paper: 2 flops per stored
     nonzero, summed over PEs for the partitioned kernels (replicated
     shared blocks genuinely cost extra flops, as they do in the real
-    codes).  Kernel states are prepared once, before the timed loop —
-    the measurement covers products, never format conversion.
+    codes), times ``rhs`` columns for block runs.  Kernel states are
+    prepared once, before the timed loop — the measurement covers
+    products, never format conversion.
     """
     if kernel not in SUITE:
         raise ValueError(f"unknown kernel {kernel!r}; options: {SUITE}")
+    if rhs < 1:
+        raise ValueError("rhs must be >= 1")
     count("repro_spark98_runs_total", kernel=kernel, instance=instance)
     inst: QuakeInstance = get_instance(instance)
     mesh, _ = inst.build()
@@ -107,11 +117,16 @@ def run_kernel(
         )
         k = get_kernel(_SEQUENTIAL[kernel])
         state = k.prepare(matrix)
-        x = rng.standard_normal(matrix.shape[1])
-        k.apply(state, x)  # warmup
+        if rhs > 1:
+            x = rng.standard_normal((matrix.shape[1], rhs))
+            apply = k.apply_block
+        else:
+            x = rng.standard_normal(matrix.shape[1])
+            apply = k.apply
+        apply(state, x)  # warmup
         t0 = now()
         for _ in range(repetitions):
-            k.apply(state, x)
+            apply(state, x)
         elapsed = (now() - t0) / repetitions
         set_gauge(
             "repro_spark98_seconds_per_smvp", elapsed, kernel=kernel
@@ -120,16 +135,20 @@ def run_kernel(
             kernel=kernel,
             instance=instance,
             num_parts=1,
-            flops=2 * matrix.nnz,
+            flops=2 * matrix.nnz * rhs,
             seconds_per_smvp=elapsed,
+            rhs=rhs,
         )
 
     partition = partition_mesh(mesh, num_parts, method=partition_method, seed=seed)
     dist_smvp = DistributedSMVP(mesh, partition, materials, backend=backend)
     try:
-        x = rng.standard_normal(3 * mesh.num_nodes)
+        if rhs > 1:
+            x = rng.standard_normal((3 * mesh.num_nodes, rhs))
+        else:
+            x = rng.standard_normal(3 * mesh.num_nodes)
         x_locals = dist_smvp.scatter(x)
-        flops = int(dist_smvp.flops_per_pe().sum())
+        flops = int(dist_smvp.flops_per_pe().sum()) * rhs
         if kernel == "lmv":
             dist_smvp.compute_phase(x_locals)  # warmup
             t0 = now()
@@ -152,6 +171,7 @@ def run_kernel(
         flops=flops,
         seconds_per_smvp=elapsed,
         backend=dist_smvp.backend_name,
+        rhs=rhs,
     )
 
 
@@ -161,6 +181,7 @@ def run_suite(
     repetitions: int = 3,
     kernels=SUITE,
     backend: str = "serial",
+    rhs: int = 1,
 ) -> Dict[str, KernelRun]:
     """Run several suite kernels and return their timing records."""
     return {
@@ -170,6 +191,7 @@ def run_suite(
             num_parts=num_parts,
             repetitions=repetitions,
             backend=backend,
+            rhs=rhs,
         )
         for k in kernels
     }

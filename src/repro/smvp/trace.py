@@ -68,6 +68,7 @@ class SuperstepTrace(PhaseBreakdown):
     blocks_sent: np.ndarray  # per PE, this superstep
     faults: Optional[FaultStats] = None  # None on the fault-free path
     t_verify: float = 0.0  # ABFT check/heal time (0.0 when disabled)
+    rhs: int = 1  # right-hand-side columns per superstep (block width)
 
     @property
     def total_words(self) -> int:
@@ -89,6 +90,7 @@ class SuperstepTrace(PhaseBreakdown):
             "t_gather": self.t_gather,
             "t_smvp": self.t_smvp,
             "t_verify": self.t_verify,
+            "rhs": self.rhs,
             "words_sent": [int(w) for w in self.words_sent],
             "blocks_sent": [int(b) for b in self.blocks_sent],
         }
@@ -115,6 +117,7 @@ class SuperstepTrace(PhaseBreakdown):
             t_gather=float(data["t_gather"]),
             t_smvp=float(data["t_smvp"]),
             t_verify=float(data.get("t_verify", 0.0)),
+            rhs=int(data.get("rhs", 1)),
             words_sent=np.asarray(data["words_sent"], dtype=np.int64),
             blocks_sent=np.asarray(data["blocks_sent"], dtype=np.int64),
             faults=faults,

@@ -58,14 +58,24 @@ def modeled_breakdown(
     flops_per_pe: np.ndarray,
     schedule: CommSchedule,
     machine: Machine,
+    rhs: int = 1,
 ) -> PhaseBreakdown:
-    """Exact per-PE barrier-model prediction for one superstep."""
+    """Exact per-PE barrier-model prediction for one superstep.
+
+    ``rhs`` is the block width: an r-column superstep does r times the
+    flops and ships r words per shared dof at unchanged block count.
+    ``rhs=1`` is bit-identical to the historical prediction.
+    """
     machine.require_comm("drift monitoring")
+    if rhs < 1:
+        raise ValueError("rhs must be >= 1")
     flops = np.asarray(flops_per_pe, dtype=np.float64)
-    t_comp = float((flops * machine.tf).max()) if len(flops) else 0.0
+    tf = machine.tf * rhs
+    tw = machine.tw * rhs
+    t_comp = float((flops * tf).max()) if len(flops) else 0.0
     busy = (
         schedule.blocks_per_pe * machine.tl
-        + schedule.words_per_pe * machine.tw
+        + schedule.words_per_pe * tw
     )
     t_comm = float(busy.max()) if len(busy) else 0.0
     return PhaseBreakdown(
@@ -73,10 +83,17 @@ def modeled_breakdown(
     )
 
 
-def eq2_t_comm(schedule: CommSchedule, machine: Machine) -> float:
-    """The paper's Equation (2): ``B_max T_l + C_max T_w``."""
+def eq2_t_comm(schedule: CommSchedule, machine: Machine, rhs: int = 1) -> float:
+    """The paper's Equation (2): ``B_max T_l + C_max T_w``.
+
+    With ``rhs > 1`` the volume term grows r-fold (``C_max`` shared
+    words each carry r columns) while the latency term ``B_max T_l``
+    is unchanged — the block engine's whole point.
+    """
     machine.require_comm("Equation (2)")
-    return schedule.b_max * machine.tl + schedule.c_max * machine.tw
+    if rhs < 1:
+        raise ValueError("rhs must be >= 1")
+    return schedule.b_max * machine.tl + schedule.c_max * (machine.tw * rhs)
 
 
 @dataclass(frozen=True)
@@ -263,18 +280,22 @@ class DriftMonitor:
         schedule: CommSchedule,
         machine: Machine,
         thresholds: Optional[DriftThresholds] = None,
+        rhs: int = 1,
     ) -> None:
         machine.require_comm("drift monitoring")
+        if rhs < 1:
+            raise ValueError("rhs must be >= 1")
         self.machine = machine
         self.schedule = schedule
+        self.rhs = int(rhs)
         self.flops = np.asarray(flops_per_pe, dtype=np.float64)
-        self.modeled = modeled_breakdown(self.flops, schedule, machine)
+        self.modeled = modeled_breakdown(self.flops, schedule, machine, rhs=rhs)
         self.thresholds = thresholds or DriftThresholds()
         self.beta = beta_bound(
             schedule.words_per_pe, schedule.blocks_per_pe
         )
-        self.eq2 = eq2_t_comm(schedule, machine)
-        self.words_scheduled = int(schedule.total_words)
+        self.eq2 = eq2_t_comm(schedule, machine, rhs=rhs)
+        self.words_scheduled = int(schedule.total_words) * self.rhs
         self.records: List[DriftRecord] = []
 
     def observe(

@@ -1,0 +1,43 @@
+"""Fixture: apply_block overrides the ``kernel-registry`` rule audits.
+
+A kernel that grows a native block product must say so — the engine
+dispatches on the class-level ``supports_block`` flag, never on
+``hasattr`` — so an override without the declaration is either dead
+capability or an inherited flag that no longer describes the override.
+"""
+
+
+class SilentBlockKernel:
+    """Flagged: block product with no supports_block declaration."""
+
+    def apply_block(self, state, X):
+        return state @ X
+
+
+class DeclaredBlockKernel:
+    """Clean: the flag and the override travel together."""
+
+    supports_block = True
+
+    def apply_block(self, state, X):
+        return state @ X
+
+
+class AnnotatedBlockKernel:
+    """Clean: an annotated class-level declaration also counts."""
+
+    supports_block: bool = False
+
+    def apply_block(self, state, X):
+        out = None
+        for j in range(X.shape[1]):
+            col = state @ X[:, j]
+            out = col if out is None else out
+        return out
+
+
+class WaivedBlockKernel:
+    """Clean: the pragma waives the declaration requirement."""
+
+    def apply_block(self, state, X):  # repro-lint: ignore[kernel-registry]
+        return state @ X

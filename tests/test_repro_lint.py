@@ -93,6 +93,20 @@ class TestFixtureDetection:
         kernels_py = SRC / "repro" / "smvp" / "kernels.py"
         assert lint_paths([str(kernels_py)], rules=["kernel-registry"]) == []
 
+    def test_undeclared_block_kernel_flagged(self, fixture_findings):
+        """An apply_block override needs a class-level supports_block."""
+        hits = [
+            f
+            for f in fixture_findings
+            if "kernel_block_undeclared" in f.path
+        ]
+        assert {f.rule for f in hits} == {"kernel-registry"}
+        # Only SilentBlockKernel fires: plain and annotated declarations
+        # both count, and the pragma'd override is waived.
+        assert [f.line for f in hits] == [13]
+        assert "supports_block" in hits[0].message
+        assert "SilentBlockKernel" in hits[0].message
+
     def test_no_print_rule(self, fixture_findings):
         hits = [f for f in fixture_findings if "no_print" in f.path]
         assert {f.rule for f in hits} == {"no-print"}
