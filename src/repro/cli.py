@@ -66,6 +66,7 @@ def _run_traced_workload(
     fault_rate: float,
     seed: int,
     rhs: int = 1,
+    profile: bool = False,
 ):
     """Run a short traced time-stepped simulation.
 
@@ -113,6 +114,7 @@ def _run_traced_workload(
         kernel=kernel,
         backend=backend,
         injector=injector,
+        profile=profile,
     )
     log = TraceLog()
     stepper = ExplicitTimeStepper(stiffness, mass, dt, smvp=smvp, rhs=rhs)
@@ -212,6 +214,12 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write a Chrome-trace/Perfetto JSON timeline of the run",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-PE spans and print a critical-path blame "
+        "summary after the run",
+    )
     args = parser.parse_args(argv)
 
     # Validate registry names up front: an unknown kernel/backend must
@@ -231,6 +239,10 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
         parser.error(
             "--timeline-out needs the distributed executor; "
             "drop --sequential"
+        )
+    if args.profile and args.sequential:
+        parser.error(
+            "--profile needs the distributed executor; drop --sequential"
         )
 
     registry = None
@@ -260,6 +272,7 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
                 materials,
                 kernel=args.kernel,
                 backend=args.backend,
+                profile=args.profile,
             )
             print(
                 f"distributed on {args.pes} PEs "
@@ -276,7 +289,7 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
             rhs=args.rhs,
         )
         log = None
-        if args.timeline_out:
+        if args.timeline_out or args.profile:
             from repro.smvp.trace import TraceLog
 
             log = TraceLog()
@@ -295,6 +308,11 @@ def main_quake(argv: Optional[List[str]] = None) -> int:
             f"peak displacement {peak:.3e} m; "
             f"finite={np.isfinite(peak)}"
         )
+        if args.profile:
+            from repro.profile import build_report, render_report
+
+            print()
+            print(render_report(build_report(log)))
         if args.metrics_out:
             from repro.telemetry import write_metrics
 
@@ -757,6 +775,12 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
         help="write a metrics snapshot after the suite "
         "(.json = JSON, anything else = Prometheus text)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the critical-path profiler to the mmv kernel's "
+        "executor and print its blame summary after the table",
+    )
     args = parser.parse_args(argv)
     kernels = tuple(args.kernels) if args.kernels else SUITE
     unknown = [k for k in kernels if k not in SUITE]
@@ -773,6 +797,11 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
 
         registry = MetricsRegistry()
         previous_registry = set_registry(registry)
+    trace_log = None
+    if args.profile:
+        from repro.smvp.trace import TraceLog
+
+        trace_log = TraceLog()
     try:
         results = run_suite(
             instance=args.instance,
@@ -781,6 +810,8 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
             kernels=kernels,
             backend=args.backend,
             rhs=args.rhs,
+            trace_sink=trace_log,
+            profile=args.profile,
         )
     finally:
         if registry is not None:
@@ -803,6 +834,20 @@ def main_measure(argv: Optional[List[str]] = None) -> int:
             f"{run.seconds_per_smvp:>12.6f} {run.tf_ns:>9.2f} "
             f"{run.mflops:>8.0f}"
         )
+    if trace_log is not None:
+        from repro.profile import build_report, render_report
+
+        if any(
+            getattr(t, "pe_spans", None) is not None
+            for t in trace_log.traces
+        ):
+            print()
+            print(render_report(build_report(trace_log)))
+        else:
+            print(
+                "\n--profile: no profiled supersteps (include the mmv "
+                "kernel to trace the distributed executor)"
+            )
     return 0
 
 
@@ -871,6 +916,13 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write a Chrome-trace/Perfetto JSON timeline of the run",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-PE spans (critical-path profiler); adds a "
+        "blame summary after the phase table and per-PE/wire tracks "
+        "to --timeline-out",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 0.3:
         parser.error("--fault-rate must be in [0, 0.3]")
@@ -895,6 +947,7 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
             fault_rate=args.fault_rate,
             seed=args.seed,
             rhs=args.rhs,
+            profile=args.profile,
         )
     finally:
         if registry is not None:
@@ -910,6 +963,11 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
             f"fault_rate={args.fault_rate} rhs={args.rhs}"
         )
         print(log.render_table())
+        if args.profile:
+            from repro.profile import build_report, render_report
+
+            print()
+            print(render_report(build_report(log)))
     if args.metrics_out:
         from repro.telemetry import write_metrics
 
@@ -921,6 +979,211 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
             render_chrome_trace(log, registry)
         )
         print(f"wrote timeline to {args.timeline_out}")
+    return 0
+
+
+#: Absolute slack on the critical-path identity gate (seconds).  The
+#: host windows tile [0, t_smvp] by construction, so the error is pure
+#: float-addition roundoff — nanoseconds would already be a failure.
+PROFILE_IDENTITY_TOL = 1e-9
+
+
+def main_profile(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-profile``: the critical-path profiler.
+
+    Default mode runs a profiled workload and prints the blame table
+    (optionally next to the analytic prediction via ``--machine``),
+    with the JSON snapshot / folded stacks / Chrome-trace timeline as
+    side outputs.  ``--regress OLD NEW`` instead compares two saved
+    snapshots with a noise-aware threshold and exits 1 on a slowdown.
+    """
+    from repro.mesh.instances import instance_names
+    from repro.model.machine import MACHINES
+    from repro.smvp.backends import backend_names
+    from repro.smvp.kernels import kernel_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description=(
+            "Critical-path profiler: record per-PE spans through the "
+            "superstep engine, attribute wall time to compute / "
+            "imbalance / latency / bandwidth / verify / recovery / "
+            "overhead, and report stragglers, overlap efficiency, and "
+            "the per-message wire fit."
+        ),
+    )
+    parser.add_argument(
+        "--instance", default="demo", choices=list(instance_names())
+    )
+    parser.add_argument("--pes", type=int, default=8, help="number of PEs")
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument(
+        "--kernel", default="csr", choices=kernel_names()
+    )
+    parser.add_argument(
+        "--backend", default="serial", choices=backend_names()
+    )
+    parser.add_argument(
+        "--rhs",
+        type=int,
+        default=1,
+        metavar="R",
+        help="right-hand-side columns per superstep (block SMVP)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--machine",
+        default=None,
+        choices=sorted(MACHINES),
+        help="also render the analytic per-bucket prediction for this "
+        "machine next to the measured buckets",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the JSON snapshot ('-' = stdout); feed two of "
+        "these to --regress",
+    )
+    parser.add_argument(
+        "--folded",
+        default=None,
+        metavar="PATH",
+        help="write flamegraph folded stacks ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace/Perfetto timeline with per-PE and "
+        "wire-thread tracks",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) unless the critical-path identity "
+        "|path - t_smvp| holds on every superstep",
+    )
+    parser.add_argument(
+        "--regress",
+        nargs=2,
+        default=None,
+        metavar=("OLD", "NEW"),
+        help="compare two --json snapshots instead of running a "
+        "workload; exit 1 on a slowdown beyond the noise-aware "
+        "threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="base relative-slowdown threshold for --regress "
+        "(widened automatically on noisy baselines; default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.profile import (
+        DEFAULT_REGRESS_THRESHOLD,
+        build_report,
+        compare_snapshots,
+        load_snapshot,
+        render_folded,
+        render_report,
+        render_snapshot,
+    )
+
+    if args.regress:
+        old = load_snapshot(Path(args.regress[0]).read_text())
+        new = load_snapshot(Path(args.regress[1]).read_text())
+        base = (
+            args.threshold
+            if args.threshold is not None
+            else DEFAULT_REGRESS_THRESHOLD
+        )
+        ok, lines = compare_snapshots(old, new, base_threshold=base)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("PROFILE REGRESSION", file=sys.stderr)
+            return 1
+        print("no regression")
+        return 0
+    if args.rhs < 1:
+        parser.error("--rhs must be >= 1")
+    if args.threshold is not None:
+        parser.error("--threshold only applies to --regress")
+    if args.machine:
+        try:
+            MACHINES[args.machine].require_comm("the modeled critical path")
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    log, flops, schedule = _run_traced_workload(
+        instance=args.instance,
+        pes=args.pes,
+        steps=args.steps,
+        kernel=args.kernel,
+        backend=args.backend,
+        fault_rate=0.0,
+        seed=args.seed,
+        rhs=args.rhs,
+        profile=True,
+    )
+    report = build_report(log)
+    modeled = None
+    if args.machine:
+        from repro.simulate.bsp import modeled_critical_path
+
+        per_step = modeled_critical_path(
+            flops, schedule, MACHINES[args.machine], rhs=args.rhs
+        )
+        # The report totals over the run; scale the per-superstep
+        # prediction to match.
+        modeled = {k: v * report.steps for k, v in per_step.items()}
+    print(render_report(report, modeled=modeled))
+    meta = {
+        "instance": args.instance,
+        "pes": args.pes,
+        "steps": args.steps,
+        "kernel": args.kernel,
+        "backend": args.backend,
+        "rhs": args.rhs,
+        "seed": args.seed,
+    }
+    if args.json:
+        text = render_snapshot(report, meta) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote snapshot to {args.json}")
+    if args.folded:
+        text = render_folded(log)
+        if args.folded == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.folded).write_text(text)
+            print(f"wrote folded stacks to {args.folded}")
+    if args.timeline_out:
+        from repro.telemetry import render_chrome_trace
+
+        Path(args.timeline_out).write_text(render_chrome_trace(log))
+        print(f"wrote timeline to {args.timeline_out}")
+    if args.check:
+        if report.identity_max_err > PROFILE_IDENTITY_TOL:
+            print(
+                f"PROFILE CHECK FAILURE: critical-path identity "
+                f"max error {report.identity_max_err:.3e}s exceeds "
+                f"{PROFILE_IDENTITY_TOL:.0e}s",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"critical-path identity ok "
+            f"(max error {report.identity_max_err:.3e}s over "
+            f"{report.steps} supersteps)"
+        )
     return 0
 
 

@@ -1,0 +1,339 @@
+"""Aggregated profiler reports: blame table, folded stacks, snapshots.
+
+``build_report`` folds per-superstep :class:`SuperstepProfile` records
+into one run-level :class:`ProfileReport`; ``render_report`` prints the
+blame table the ``repro-profile`` CLI shows, ``render_folded`` emits
+flamegraph folded stacks (``stack;frames count`` with integer
+microsecond counts), ``snapshot`` / ``compare_snapshots`` implement the
+JSON artifact and the noise-aware ``--regress`` gate.
+
+The regression threshold adapts to run noise: with per-step ``t_smvp``
+samples in the old snapshot, the gate uses ``max(base, 2 * CV)`` where
+CV is the old run's coefficient of variation — a noisy baseline earns
+a wider band instead of flaking.  Only *slowdowns* fail; getting
+faster never does.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profile.critical_path import (
+    BUCKETS,
+    SuperstepProfile,
+    analyze_log,
+)
+
+#: Snapshot format marker (independent of the trace-log schema).
+SNAPSHOT_SCHEMA = "repro-profile/1"
+
+#: Baseline relative slowdown tolerated by ``compare_snapshots``.
+DEFAULT_REGRESS_THRESHOLD = 0.10
+
+#: Buckets smaller than this share of the old total are not gated —
+#: a 3x jump in a microscopic bucket is noise, not a regression.
+MIN_GATED_SHARE = 0.05
+
+
+@dataclass
+class ProfileReport:
+    """Run-level aggregation of per-superstep profiles."""
+
+    backend: str
+    kernel: str
+    steps: int
+    rhs: int
+    t_total: float
+    buckets: Dict[str, float]
+    pe_compute: Dict[int, float]
+    straggler: Dict[int, float]
+    overlap_efficiency: Optional[float]
+    identity_max_err: float
+    per_step_t_smvp: List[float]
+    wire: Dict[str, float]
+    profiles: List[SuperstepProfile] = field(default_factory=list)
+
+
+def build_report(traces) -> ProfileReport:
+    """Aggregate every profiled trace in ``traces`` (a TraceLog or a
+    plain sequence of SuperstepTrace)."""
+    traces = list(getattr(traces, "traces", traces))
+    profiles = analyze_log(traces)
+    if not profiles:
+        raise ValueError(
+            "no profiled supersteps: traces carry no pe_spans "
+            "(run with profile enabled)"
+        )
+    by_step = {
+        t.step: t for t in traces if getattr(t, "pe_spans", None)
+    }
+    buckets = {name: 0.0 for name in BUCKETS}
+    pe_compute: Dict[int, float] = {}
+    identity_max = 0.0
+    eff_num = 0.0
+    eff_den = 0.0
+    messages = 0
+    words = 0
+    for p in profiles:
+        for name, v in p.buckets.items():
+            buckets[name] = buckets.get(name, 0.0) + v
+        for pe, v in sorted(p.pe_compute.items()):
+            pe_compute[pe] = pe_compute.get(pe, 0.0) + v
+        identity_max = max(identity_max, p.identity_error)
+        if p.overlap_efficiency is not None:
+            wire_total = (
+                p.wire_fit.messages * p.wire_fit.latency_per_msg
+                + p.wire_fit.words * p.wire_fit.seconds_per_word
+            )
+            weight = wire_total if wire_total > 0.0 else 1.0
+            eff_num += p.overlap_efficiency * weight
+            eff_den += weight
+        messages += p.wire_fit.messages
+        words += p.wire_fit.words
+    straggler: Dict[int, float] = {}
+    if pe_compute:
+        ordered = sorted(pe_compute.values())
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[mid]
+        else:
+            median = 0.5 * (ordered[mid - 1] + ordered[mid])
+        for pe, v in sorted(pe_compute.items()):
+            straggler[pe] = v / median if median > 0.0 else 1.0
+    n = len(profiles)
+    mean_a = (
+        sum(p.wire_fit.latency_per_msg for p in profiles) / n
+    )
+    mean_b = (
+        sum(p.wire_fit.seconds_per_word for p in profiles) / n
+    )
+    last = by_step[profiles[-1].step]
+    return ProfileReport(
+        backend=profiles[-1].backend,
+        kernel=getattr(last, "kernel", "csr"),
+        steps=n,
+        rhs=int(getattr(last, "rhs", 1)),
+        t_total=sum(p.t_smvp for p in profiles),
+        buckets=buckets,
+        pe_compute=pe_compute,
+        straggler=straggler,
+        overlap_efficiency=(
+            eff_num / eff_den if eff_den > 0.0 else None
+        ),
+        identity_max_err=identity_max,
+        per_step_t_smvp=[p.t_smvp for p in profiles],
+        wire={
+            "latency_per_msg": mean_a,
+            "seconds_per_word": mean_b,
+            "messages": float(messages),
+            "words": float(words),
+        },
+        profiles=profiles,
+    )
+
+
+def render_report(
+    report: ProfileReport, modeled: Optional[Dict[str, float]] = None
+) -> str:
+    """The human-readable blame table."""
+    lines = [
+        f"critical-path profile: {report.steps} supersteps, "
+        f"backend={report.backend}, kernel={report.kernel}, "
+        f"rhs={report.rhs}",
+        "",
+        f"{'bucket':<12} {'seconds':>12} {'share':>7}"
+        + ("" if modeled is None else f" {'modeled':>12}"),
+    ]
+    total = report.t_total or 1.0
+    for name in BUCKETS:
+        v = report.buckets.get(name, 0.0)
+        row = f"{name:<12} {v:>12.6f} {v / total:>6.1%}"
+        if modeled is not None:
+            row += f" {modeled.get(name, 0.0):>12.6f}"
+        lines.append(row)
+    lines.append(
+        f"{'total':<12} {report.t_total:>12.6f} {'100.0%':>7}"
+        + (
+            ""
+            if modeled is None
+            else f" {modeled.get('total', 0.0):>12.6f}"
+        )
+    )
+    lines.append(
+        f"critical-path identity: max |path - t_smvp| = "
+        f"{report.identity_max_err:.3e} s"
+    )
+    if report.overlap_efficiency is not None:
+        lines.append(
+            f"overlap efficiency: {report.overlap_efficiency:.1%} of "
+            "wire time hidden behind foreground compute"
+        )
+    if report.pe_compute:
+        lines.append("")
+        lines.append(
+            f"{'PE':>4} {'compute s':>12} {'straggler':>10}"
+        )
+        for pe in sorted(report.pe_compute):
+            lines.append(
+                f"{pe:>4} {report.pe_compute[pe]:>12.6f} "
+                f"{report.straggler[pe]:>10.2f}"
+            )
+    if report.wire["messages"] > 0:
+        lines.append(
+            f"wire fit: {report.wire['latency_per_msg']:.3e} s/msg + "
+            f"{report.wire['seconds_per_word']:.3e} s/word over "
+            f"{int(report.wire['messages'])} messages / "
+            f"{int(report.wire['words'])} words"
+        )
+    return "\n".join(lines)
+
+
+def render_folded(traces) -> str:
+    """Flamegraph folded stacks, aggregated over the run.
+
+    One line per distinct stack, count = total integer microseconds.
+    Host windows self-time is the window minus its contained per-PE
+    spans; per-PE and wire spans get child frames.  Wire spans run on
+    their own thread on the overlapped path, so they fold under a
+    top-level ``wire`` root rather than under a superstep phase.
+    """
+    traces = list(getattr(traces, "traces", traces))
+    agg: Dict[str, float] = {}
+
+    def bump(stack: str, seconds: float) -> None:
+        if seconds > 0.0:
+            agg[stack] = agg.get(stack, 0.0) + seconds
+
+    for trace in traces:
+        spans = getattr(trace, "pe_spans", None)
+        if spans is None:
+            continue
+        pe_spans = [s for s in spans if s.pe >= 0]
+        for window in spans.host_windows():
+            contained = 0.0
+            for s in pe_spans:
+                if s.kind == "wire":
+                    continue
+                d = s.overlap(window.t_start, window.t_end)
+                if d > 0.0:
+                    bump(f"smvp;{window.kind};PE{s.pe}", d)
+                    contained += d
+            bump(
+                f"smvp;{window.kind}",
+                max(window.duration - contained, 0.0),
+            )
+        for s in pe_spans:
+            if s.kind == "wire":
+                bump(f"wire;{s.pe}->{s.dst}", s.duration)
+    lines = []
+    for stack in sorted(agg):
+        us = int(round(agg[stack] * 1e6))
+        if us > 0:
+            lines.append(f"{stack} {us}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(
+    report: ProfileReport, meta: Optional[dict] = None
+) -> dict:
+    """JSON-ready snapshot for ``--json`` / ``--regress``."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "meta": dict(meta or {}),
+        "backend": report.backend,
+        "kernel": report.kernel,
+        "steps": report.steps,
+        "rhs": report.rhs,
+        "t_total": report.t_total,
+        "buckets": dict(report.buckets),
+        "pe_compute": {
+            str(pe): v for pe, v in sorted(report.pe_compute.items())
+        },
+        "straggler": {
+            str(pe): v for pe, v in sorted(report.straggler.items())
+        },
+        "overlap_efficiency": report.overlap_efficiency,
+        "identity_max_err": report.identity_max_err,
+        "per_step_t_smvp": list(report.per_step_t_smvp),
+        "wire": dict(report.wire),
+    }
+
+
+def render_snapshot(
+    report: ProfileReport, meta: Optional[dict] = None
+) -> str:
+    return json.dumps(snapshot(report, meta), indent=2, sort_keys=True)
+
+
+def load_snapshot(text: str) -> dict:
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"unsupported profile snapshot schema {schema!r} "
+            f"(expected {SNAPSHOT_SCHEMA!r})"
+        )
+    return payload
+
+
+def _noise_threshold(old: dict, base: float) -> float:
+    steps = [float(v) for v in old.get("per_step_t_smvp", [])]
+    if len(steps) < 2:
+        return base
+    mean = sum(steps) / len(steps)
+    if mean <= 0.0:
+        return base
+    var = sum((s - mean) ** 2 for s in steps) / (len(steps) - 1)
+    cv = math.sqrt(var) / mean
+    return max(base, 2.0 * cv)
+
+
+def compare_snapshots(
+    old: dict,
+    new: dict,
+    base_threshold: float = DEFAULT_REGRESS_THRESHOLD,
+) -> Tuple[bool, List[str]]:
+    """Noise-aware regression gate between two snapshots.
+
+    Returns ``(ok, lines)``; ``ok`` is False when the new total, or any
+    bucket carrying at least :data:`MIN_GATED_SHARE` of the old total,
+    slowed down by more than the (noise-widened) threshold.
+    """
+    threshold = _noise_threshold(old, base_threshold)
+    lines = [
+        f"regression threshold: {threshold:.1%} "
+        f"(base {base_threshold:.1%}, noise-adjusted from "
+        f"{len(old.get('per_step_t_smvp', []))} old steps)"
+    ]
+    ok = True
+    old_total = float(old.get("t_total", 0.0))
+    new_total = float(new.get("t_total", 0.0))
+    checks: List[Tuple[str, float, float]] = [
+        ("t_total", old_total, new_total)
+    ]
+    old_buckets = old.get("buckets", {})
+    new_buckets = new.get("buckets", {})
+    for name in sorted(old_buckets):
+        old_v = float(old_buckets[name])
+        if old_total > 0.0 and old_v < MIN_GATED_SHARE * old_total:
+            continue
+        checks.append(
+            (f"bucket:{name}", old_v, float(new_buckets.get(name, 0.0)))
+        )
+    for name, old_v, new_v in checks:
+        if old_v <= 0.0:
+            lines.append(f"  {name}: old=0, skipped")
+            continue
+        ratio = new_v / old_v
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            ok = False
+        lines.append(
+            f"  {name}: {old_v:.6f}s -> {new_v:.6f}s "
+            f"({ratio - 1.0:+.1%}) [{verdict}]"
+        )
+    return ok, lines

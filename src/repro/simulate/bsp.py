@@ -132,6 +132,44 @@ def model_reconfiguration(
     )
 
 
+def modeled_critical_path(
+    flops_per_pe: np.ndarray,
+    schedule: CommSchedule,
+    machine: Machine,
+    rhs: int = 1,
+) -> dict:
+    """The analytic prediction in the profiler's blame vocabulary.
+
+    Splits the barrier-mode superstep into the same buckets the
+    critical-path profiler attributes measured wall time to, so
+    modeled and measured breakdowns render side by side: ``compute``
+    is the *mean* per-PE product time (``mean_i F_i T_f r``),
+    ``imbalance`` the slowest-PE excess the barrier exposes
+    (``(max_i - mean_i) F_i T_f r``), ``latency`` the Eq. (2) block
+    term (``B_max T_l``) and ``bandwidth`` its volume term
+    (``C_max T_w r``).  The model has no verify/recovery/overhead
+    costs, so those buckets are zero.  Deterministic and clock-free.
+    """
+    machine.require_comm("the modeled critical path")
+    if rhs < 1:
+        raise ValueError("rhs must be >= 1")
+    flops = np.asarray(flops_per_pe, dtype=np.float64)
+    tf = machine.tf * rhs
+    f_max = float(flops.max()) if len(flops) else 0.0
+    f_mean = float(flops.mean()) if len(flops) else 0.0
+    buckets = {
+        "compute": f_mean * tf,
+        "imbalance": (f_max - f_mean) * tf,
+        "latency": float(schedule.b_max) * machine.tl,
+        "bandwidth": float(schedule.c_max) * machine.tw * rhs,
+        "verify": 0.0,
+        "recovery": 0.0,
+        "overhead": 0.0,
+    }
+    buckets["total"] = sum(buckets.values())
+    return buckets
+
+
 class BspSimulator:
     """Simulate one SMVP on a (T_f, T_l, T_w) machine.
 

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.smvp.kernels import Kernel
+from repro.telemetry.registry import count
 
 
 class ExecutionBackend:
@@ -57,6 +58,32 @@ class ExecutionBackend:
     def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
         """Recompute a single PE's block product (ABFT block recovery)."""
         raise NotImplementedError
+
+    def compute_timed(
+        self,
+        x_locals: Sequence[np.ndarray],
+        clock: Callable[[], float],
+    ) -> Tuple[List[np.ndarray], List[Tuple[float, float]]]:
+        """One compute phase plus per-PE ``(t_start, t_end)`` windows.
+
+        The profiler's hook: products must be bit-identical to
+        :meth:`compute` / :meth:`compute_block` (same prepared states,
+        same kernel code) with each PE's span read from ``clock``
+        around its own product.  This default runs the per-PE products
+        sequentially in the calling thread — correct for serially
+        executing backends; pooled backends override it so spans are
+        read inside the worker and genuinely overlap.
+        """
+        count("repro_backend_compute_phases_total", backend=self.name)
+        is_block = bool(x_locals) and getattr(x_locals[0], "ndim", 1) == 2
+        one = self.compute_one_block if is_block else self.compute_one
+        outs: List[np.ndarray] = []
+        windows: List[Tuple[float, float]] = []
+        for pe, x in enumerate(x_locals):
+            t_start = clock()
+            outs.append(one(pe, x))
+            windows.append((t_start, clock()))
+        return outs, windows
 
     def close(self) -> None:
         """Release any pools; the backend may not be used afterwards."""

@@ -23,6 +23,7 @@ import scipy.sparse as sp
 from repro.smvp.backends.base import ExecutionBackend
 from repro.smvp.kernels import Kernel
 from repro.telemetry.registry import count
+from repro.util.clock import now
 
 #: Per-worker (kernel, states), installed by the pool initializer.
 _WORKER_STATE: Optional[Tuple[Kernel, list]] = None
@@ -37,6 +38,25 @@ def _apply_one(task: Tuple[int, np.ndarray]) -> np.ndarray:
     part, x = task
     kernel, states = _WORKER_STATE
     return kernel.apply(states[part], x)
+
+
+def _apply_one_timed(
+    task: Tuple[int, np.ndarray, bool]
+) -> Tuple[np.ndarray, float, float]:
+    """One timed product, clocked *inside* the worker process.
+
+    ``perf_counter`` is CLOCK_MONOTONIC system-wide on Linux, so the
+    worker's readings share the parent's timebase; the profiler's
+    analyzer additionally clamps spans into their host window, so a
+    platform with per-process timebases degrades gracefully instead of
+    corrupting the attribution.
+    """
+    part, x, block = task
+    kernel, states = _WORKER_STATE
+    apply = kernel.apply_block if block else kernel.apply
+    t_start = now()
+    y = apply(states[part], x)
+    return y, t_start, now()
 
 
 def _apply_one_block(task: Tuple[int, np.ndarray]) -> np.ndarray:
@@ -100,6 +120,26 @@ class SharedMemoryBackend(ExecutionBackend):
     def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
         pool = self._ensure_pool()
         return pool.apply(_apply_one_block, ((pe, X),))
+
+    def compute_timed(self, x_locals, clock):
+        """Pooled compute with spans clocked in the worker processes.
+
+        ``clock`` is ignored: a closure cannot be shipped to a process
+        pool, so the workers read the same audited shim
+        (:func:`repro.util.clock.now`) directly.  The products come off
+        the identical ``pool.map`` path as :meth:`compute` (float64
+        pickling is exact), so the results are bit-identical.
+        """
+        count("repro_backend_compute_phases_total", backend=self.name)
+        pool = self._ensure_pool()
+        is_block = bool(x_locals) and getattr(x_locals[0], "ndim", 1) == 2
+        results = pool.map(
+            _apply_one_timed,
+            [(pe, x, is_block) for pe, x in enumerate(x_locals)],
+        )
+        outs = [y for y, _, _ in results]
+        windows = [(t_start, t_end) for _, t_start, t_end in results]
+        return outs, windows
 
     def close(self) -> None:
         if self._pool is not None:

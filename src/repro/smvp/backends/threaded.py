@@ -73,6 +73,31 @@ class ThreadedBackend(ExecutionBackend):
     def compute_one_block(self, pe: int, X: np.ndarray) -> np.ndarray:
         return self.kernel.apply_block(self.states[pe], X)
 
+    def compute_timed(self, x_locals, clock):
+        """Pooled compute with per-PE spans read *inside* the workers.
+
+        Same `pool.map` fan-out (and the same kernel code on the same
+        states) as :meth:`compute`, so the products are bit-identical;
+        only the clock reads around each product are new.  Reading the
+        clock in the worker thread means the recorded spans genuinely
+        overlap when the products do — that concurrency is exactly
+        what the profiler's imbalance attribution measures.
+        """
+        count("repro_backend_compute_phases_total", backend=self.name)
+        pool = self._ensure_pool()
+        is_block = bool(x_locals) and getattr(x_locals[0], "ndim", 1) == 2
+        apply = self.kernel.apply_block if is_block else self.kernel.apply
+
+        def timed(state, x):
+            t_start = clock()
+            y = apply(state, x)
+            return y, t_start, clock()
+
+        results = list(pool.map(timed, self.states, x_locals))
+        outs = [y for y, _, _ in results]
+        windows = [(t_start, t_end) for _, t_start, t_end in results]
+        return outs, windows
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -61,6 +61,7 @@ from repro.smvp.exchange import (
     make_transport,
     run_exchange,
 )
+from repro.profile.spans import ProfiledTransport, SpanRecorder
 from repro.smvp.kernels import get_kernel
 from repro.smvp.schedule import CommSchedule
 from repro.smvp.trace import SuperstepTrace, TraceSink
@@ -134,6 +135,15 @@ class DistributedSMVP:
         "bad core" follows the same hardware through post-eviction
         renumbering instead of silently migrating to an innocent
         survivor.
+    profile:
+        Record per-PE / per-message spans (see :mod:`repro.profile`)
+        on every *traced* multiply and attach them to the emitted
+        :class:`~repro.smvp.trace.SuperstepTrace` as ``pe_spans``.
+        Spans are only recorded when a trace sink is attached at call
+        time, so ``profile=True`` with no sink — and the default
+        ``profile=False`` everywhere — keeps the hot path clock-free
+        and bit-identical.  Sanitized multiplies skip span recording
+        (the sanitizer already owns that path's instrumentation).
     """
 
     def __init__(
@@ -148,11 +158,17 @@ class DistributedSMVP:
         abft: bool = False,
         pe_ids: Optional[Sequence[int]] = None,
         sanitizer: Optional[bool] = None,
+        profile: bool = False,
     ) -> None:
         self.kernel = get_kernel(kernel) if isinstance(kernel, str) else kernel
         self.kernel_name = self.kernel.name
         self.injector = injector
         self.trace_sink = trace_sink
+        self.profile = bool(profile)
+        self._recorder = SpanRecorder() if self.profile else None
+        # Recorder of the in-flight profiled multiply, visible to the
+        # ABFT recovery helpers (recovery spans); None otherwise.
+        self._live_rec: Optional[SpanRecorder] = None
         self._superstep = 0  # exchange counter; keys the fault streams
         self._quarantined: frozenset = frozenset()
         self.mesh = mesh
@@ -388,6 +404,7 @@ class DistributedSMVP:
             abft=self.abft_enabled,
             pe_ids=survivor_ids,
             sanitizer=self.sanitizer is not None,
+            profile=self.profile,
         )
         new._superstep = self._superstep
         if self.sanitizer is not None:
@@ -465,11 +482,28 @@ class DistributedSMVP:
             return self.backend.compute_one_block(pe, x)
         return self.backend.compute_one(pe, x)
 
+    def _recover_one(self, pe: int, x: np.ndarray) -> np.ndarray:
+        """`_compute_one` with a ``recovery`` span when profiling.
+
+        The ABFT heal paths route their recomputes through here so a
+        profiled run attributes healing time to the ``recovery`` bucket
+        instead of the surrounding verify window; unprofiled runs pay
+        only the ``is None`` test.
+        """
+        rec = self._live_rec
+        if rec is None:
+            return self._compute_one(pe, x)
+        t_start = now()
+        y = self._compute_one(pe, x)
+        rec.add("recovery", pe, t_start, now())
+        return y
+
     def communication_phase(
         self,
         y_locals: List[np.ndarray],
         step: Optional[int] = None,
         collector: Optional[List[Tuple[BlockSend, np.ndarray]]] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> Tuple[List[np.ndarray], ExchangeRecord]:
         """Pairwise exchange-and-sum of shared partial y values.
 
@@ -483,11 +517,18 @@ class DistributedSMVP:
         ``step`` keys the fault injector's per-superstep streams; it
         defaults to an internal counter so repeated SMVPs (time
         stepping) see an evolving fault history.
+
+        ``recorder``, when given, wraps the transport so every
+        transmitted block leaves a ``wire`` span (the profiler's
+        per-message attribution); the wrapped transmit is bit-identical
+        to the bare one.
         """
         if step is None:
             step = self._superstep
         self._superstep = step + 1
         transport = make_transport(self.injector, self._quarantined)
+        if recorder is not None:
+            transport = ProfiledTransport(transport, recorder)
         y_locals, record = run_exchange(
             y_locals,
             self._pairs,
@@ -584,15 +625,32 @@ class DistributedSMVP:
             x_global.shape[1] if getattr(x_global, "ndim", 1) == 2 else 1
         )
         step = self._superstep
+        rec = self._recorder
+        if rec is not None:
+            rec.start()
         t0 = now()
         x_locals = self.scatter(x_global)
         t1 = now()
-        y_locals = self.compute_phase(x_locals)
+        if rec is None:
+            y_locals = self.compute_phase(x_locals)
+        else:
+            y_locals, windows = self.backend.compute_timed(x_locals, now)
+            for pe, (w_start, w_end) in enumerate(windows):
+                rec.add("compute", pe, w_start, w_end)
         t2 = now()
-        y_locals, record = self.communication_phase(y_locals)
+        y_locals, record = self.communication_phase(
+            y_locals, recorder=rec
+        )
         t3 = now()
         y_global = self.gather(y_locals, out)
         t4 = now()
+        pe_spans = None
+        if rec is not None:
+            rec.add("scatter", -1, t0, t1)
+            rec.add("compute", -1, t1, t2)
+            rec.add("exchange", -1, t2, t3)
+            rec.add("gather", -1, t3, t4)
+            pe_spans = rec.finish(t0)
         sink(
             SuperstepTrace(
                 t_comp=t2 - t1,
@@ -607,6 +665,7 @@ class DistributedSMVP:
                 blocks_sent=record.blocks_sent,
                 faults=record.faults,
                 rhs=rhs,
+                pe_spans=pe_spans,
             )
         )
         return y_global
@@ -741,6 +800,9 @@ class DistributedSMVP:
         backend = self.backend
         sink = self.trace_sink
         timed = sink is not None
+        rec = self._recorder if timed else None
+        if rec is not None:
+            rec.start()
         step = self._superstep
         self._superstep = step + 1
         is_block = getattr(x_global, "ndim", 1) == 2
@@ -748,15 +810,26 @@ class DistributedSMVP:
         t0 = now() if timed else 0.0
         x_locals = self._scatter_overlap(x_global)
         t1 = now() if timed else 0.0
-        bbufs = [
-            backend.compute_boundary_one(pe, x)
-            for pe, x in enumerate(x_locals)
-        ]
+        if rec is None:
+            bbufs = [
+                backend.compute_boundary_one(pe, x)
+                for pe, x in enumerate(x_locals)
+            ]
+        else:
+            bbufs = []
+            for pe, x in enumerate(x_locals):
+                b_start = now()
+                bbufs.append(backend.compute_boundary_one(pe, x))
+                rec.add("boundary", pe, b_start, now())
         # The boundary partials are the exchange's only inputs: snapshot
         # the send payloads now (straight out of the boundary buffers,
         # same pair order and values as build_sends) and deliver them
         # off-thread.
         transport = make_transport(self.injector, self._quarantined)
+        if rec is not None:
+            # Wire spans are recorded on the background thread; the
+            # recorder's append is GIL-atomic (see SpanRecorder).
+            transport = ProfiledTransport(transport, rec)
         stats = transport.make_stats()
         words_sent = np.zeros(self.num_parts, dtype=np.int64)
         blocks_sent = np.zeros(self.num_parts, dtype=np.int64)
@@ -788,12 +861,21 @@ class DistributedSMVP:
 
         wire = threading.Thread(target=_deliver, name="repro-overlap-wire")
         wire.start()
-        ibufs = [
-            backend.compute_interior_one(pe, x)
-            for pe, x in enumerate(x_locals)
-        ]
+        tb = now() if rec is not None else 0.0
+        if rec is None:
+            ibufs = [
+                backend.compute_interior_one(pe, x)
+                for pe, x in enumerate(x_locals)
+            ]
+        else:
+            ibufs = []
+            for pe, x in enumerate(x_locals):
+                i_start = now()
+                ibufs.append(backend.compute_interior_one(pe, x))
+                rec.add("interior", pe, i_start, now())
         t2 = now() if timed else 0.0
         wire.join()
+        tj = now() if rec is not None else 0.0
         if failure:
             raise failure[0]
         # Delivered contributions sum into the boundary buffers in the
@@ -822,6 +904,15 @@ class DistributedSMVP:
                 out[dst_i] = ibufs[part][src_i]
         t4 = now() if timed else 0.0
         if timed:
+            pe_spans = None
+            if rec is not None:
+                rec.add("scatter", -1, t0, t1)
+                rec.add("boundary", -1, t1, tb)
+                rec.add("interior", -1, tb, t2)
+                rec.add("wait", -1, t2, tj)
+                rec.add("sum", -1, tj, t3)
+                rec.add("gather", -1, t3, t4)
+                pe_spans = rec.finish(t0)
             sink(
                 SuperstepTrace(
                     t_comp=t2 - t1,
@@ -836,6 +927,7 @@ class DistributedSMVP:
                     blocks_sent=record.blocks_sent,
                     faults=record.faults,
                     rhs=rhs,
+                    pe_spans=pe_spans,
                 )
             )
         return out
@@ -895,6 +987,10 @@ class DistributedSMVP:
         """
         sink = self.trace_sink
         timed = sink is not None
+        rec = self._recorder if timed else None
+        if rec is not None:
+            rec.start()
+            self._live_rec = rec
         step = self._superstep
         stats = FaultStats()
         record: Optional[ExchangeRecord] = None
@@ -907,13 +1003,20 @@ class DistributedSMVP:
             t1 = now() if timed else 0.0
             self._sdc_input_phase(x_locals, x_global, step, stats)
             tv1 = now() if timed else 0.0
-            y_locals = self.compute_phase(x_locals)
+            if rec is None:
+                y_locals = self.compute_phase(x_locals)
+            else:
+                y_locals, windows = self.backend.compute_timed(
+                    x_locals, now
+                )
+                for pe, (w_start, w_end) in enumerate(windows):
+                    rec.add("compute", pe, w_start, w_end)
             t2 = now() if timed else 0.0
             pre = self._sdc_compute_phase(x_locals, y_locals, step, stats)
             tv2 = now() if timed else 0.0
             collector: List[Tuple[BlockSend, np.ndarray]] = []
             y_locals, record = self.communication_phase(
-                y_locals, collector=collector
+                y_locals, collector=collector, recorder=rec
             )
             t3 = now() if timed else 0.0
             self._sdc_exchange_phase(
@@ -925,12 +1028,23 @@ class DistributedSMVP:
         finally:
             # Escalations must not lose the tallies gathered so far.
             self._accumulate_sdc(stats)
+            self._live_rec = None
         if timed:
             faults = record.faults
             if any(
                 getattr(stats, f.name) for f in dataclass_fields(stats)
             ):
                 faults = stats if faults is None else faults.merge(stats)
+            pe_spans = None
+            if rec is not None:
+                rec.add("scatter", -1, t0, t1)
+                rec.add("verify", -1, t1, tv1)
+                rec.add("compute", -1, tv1, t2)
+                rec.add("verify", -1, t2, tv2)
+                rec.add("exchange", -1, tv2, t3)
+                rec.add("verify", -1, t3, tv3)
+                rec.add("gather", -1, tv3, t4)
+                pe_spans = rec.finish(t0)
             sink(
                 SuperstepTrace(
                     t_comp=t2 - tv1,
@@ -946,6 +1060,7 @@ class DistributedSMVP:
                     faults=faults,
                     t_verify=(tv1 - t1) + (tv2 - t2) + (tv3 - t3),
                     rhs=rhs,
+                    pe_spans=pe_spans,
                 )
             )
         return y_global
@@ -1224,7 +1339,7 @@ class DistributedSMVP:
                     step, pe, "compute", "flip-k", "repaired",
                     "virtual corruption scrubbed",
                 )
-            y = self._compute_one(pe, x)
+            y = self._recover_one(pe, x)
             stats.recomputed_sdc += 1
             self._note_sdc(
                 step, pe, "compute", kind,
@@ -1314,7 +1429,7 @@ class DistributedSMVP:
             # any live virtual matrix delta, for bit-parity with the
             # main path) and re-sum its delivered payloads in original
             # application order.
-            y = self._compute_one(pe, x_locals[pe])
+            y = self._recover_one(pe, x_locals[pe])
             corruption = self._k_corruption.get(pe)
             if corruption is not None:
                 y[corruption.row] += (

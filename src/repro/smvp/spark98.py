@@ -90,6 +90,8 @@ def run_kernel(
     seed: int = 0,
     backend: str = "serial",
     rhs: int = 1,
+    trace_sink=None,
+    profile: bool = False,
 ) -> KernelRun:
     """Build the instance, assemble, and time one suite kernel.
 
@@ -100,6 +102,11 @@ def run_kernel(
     codes), times ``rhs`` columns for block runs.  Kernel states are
     prepared once, before the timed loop — the measurement covers
     products, never format conversion.
+
+    ``trace_sink`` / ``profile`` attach the superstep tracer (and the
+    critical-path profiler's per-PE spans) to the ``mmv`` kernel's
+    executor; the sequential and ``lmv`` kernels have no supersteps to
+    trace and ignore both.
     """
     if kernel not in SUITE:
         raise ValueError(f"unknown kernel {kernel!r}; options: {SUITE}")
@@ -141,7 +148,14 @@ def run_kernel(
         )
 
     partition = partition_mesh(mesh, num_parts, method=partition_method, seed=seed)
-    dist_smvp = DistributedSMVP(mesh, partition, materials, backend=backend)
+    dist_smvp = DistributedSMVP(
+        mesh,
+        partition,
+        materials,
+        backend=backend,
+        trace_sink=trace_sink if kernel == "mmv" else None,
+        profile=profile,
+    )
     try:
         if rhs > 1:
             x = rng.standard_normal((3 * mesh.num_nodes, rhs))
@@ -182,6 +196,8 @@ def run_suite(
     kernels=SUITE,
     backend: str = "serial",
     rhs: int = 1,
+    trace_sink=None,
+    profile: bool = False,
 ) -> Dict[str, KernelRun]:
     """Run several suite kernels and return their timing records."""
     return {
@@ -192,6 +208,8 @@ def run_suite(
             repetitions=repetitions,
             backend=backend,
             rhs=rhs,
+            trace_sink=trace_sink,
+            profile=profile,
         )
         for k in kernels
     }

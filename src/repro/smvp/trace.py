@@ -32,6 +32,13 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.faults.detection import FaultStats
+from repro.profile.spans import SuperstepSpans
+
+#: Current trace-log JSON schema.  Version 2 added ``schema_version``
+#: itself, the ``rhs`` field (PR 8), and the optional ``pe_spans``
+#: profiler payload; readers accept 1 and 2 and reject anything newer
+#: with a clear error.
+TRACE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,9 @@ class SuperstepTrace(PhaseBreakdown):
     faults: Optional[FaultStats] = None  # None on the fault-free path
     t_verify: float = 0.0  # ABFT check/heal time (0.0 when disabled)
     rhs: int = 1  # right-hand-side columns per superstep (block width)
+    #: Profiler span payload (``profile=True`` only); ``None`` keeps
+    #: the trace byte-identical to the unprofiled schema.
+    pe_spans: Optional[SuperstepSpans] = None
 
     @property
     def total_words(self) -> int:
@@ -99,6 +109,8 @@ class SuperstepTrace(PhaseBreakdown):
                 name: getattr(self.faults, name)
                 for name in self.faults.__dataclass_fields__
             }
+        if self.pe_spans is not None:
+            out["pe_spans"] = self.pe_spans.to_dict()
         return out
 
     @classmethod
@@ -107,6 +119,9 @@ class SuperstepTrace(PhaseBreakdown):
         faults = None
         if "faults" in data and data["faults"] is not None:
             faults = FaultStats(**data["faults"])
+        pe_spans = None
+        if data.get("pe_spans") is not None:
+            pe_spans = SuperstepSpans.from_dict(data["pe_spans"])
         return cls(
             step=int(data["step"]),
             kernel=data["kernel"],
@@ -121,6 +136,7 @@ class SuperstepTrace(PhaseBreakdown):
             words_sent=np.asarray(data["words_sent"], dtype=np.int64),
             blocks_sent=np.asarray(data["blocks_sent"], dtype=np.int64),
             faults=faults,
+            pe_spans=pe_spans,
         )
 
 
@@ -214,6 +230,7 @@ class TraceLog:
         return json.dumps(
             {
                 "version": 1,
+                "schema_version": TRACE_SCHEMA_VERSION,
                 "summary": self.summary(),
                 "supersteps": [t.to_dict() for t in self.traces],
             },
@@ -223,13 +240,28 @@ class TraceLog:
 
     @classmethod
     def from_json(cls, text: str) -> "TraceLog":
-        """Rebuild a log from :meth:`render_json` output."""
+        """Rebuild a log from :meth:`render_json` output.
+
+        Accepts ``schema_version`` 1 and 2; payloads without one fall
+        back to the legacy ``version`` key (which was always 1).
+        Anything newer is rejected — a future writer's fields would be
+        silently dropped otherwise.
+        """
         payload = json.loads(text)
-        version = payload.get("version")
-        if version != 1:
-            raise ValueError(
-                f"unsupported trace log version {version!r} (expected 1)"
-            )
+        schema = payload.get("schema_version")
+        if schema is not None:
+            if schema not in (1, TRACE_SCHEMA_VERSION):
+                raise ValueError(
+                    f"unsupported trace log version {schema!r} "
+                    f"(expected <= {TRACE_SCHEMA_VERSION})"
+                )
+        else:
+            version = payload.get("version")
+            if version != 1:
+                raise ValueError(
+                    f"unsupported trace log version {version!r} "
+                    f"(expected 1)"
+                )
         log = cls()
         for record in payload.get("supersteps", []):
             log(SuperstepTrace.from_dict(record))

@@ -114,6 +114,10 @@ class DriftRecord:
     modeled: PhaseBreakdown
     words_measured: Optional[int] = None
     words_scheduled: Optional[int] = None
+    #: Per-term measured-vs-modeled residuals (compute / latency /
+    #: bandwidth), populated when the observed trace carried profiler
+    #: spans: term -> {"measured", "modeled", "residual"}.
+    term_residuals: Optional[dict] = None
 
     @property
     def comp_drift(self) -> float:
@@ -137,7 +141,7 @@ class DriftRecord:
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "step": self.step,
             "t_comp_measured": self.measured.t_comp,
             "t_comp_modeled": self.modeled.t_comp,
@@ -150,6 +154,9 @@ class DriftRecord:
             "efficiency_delta": self.efficiency_delta,
             "traffic_drift": self.traffic_drift,
         }
+        if self.term_residuals is not None:
+            out["term_residuals"] = self.term_residuals
+        return out
 
 
 @dataclass
@@ -262,6 +269,24 @@ class DriftReport:
             f"comm={self.max_abs_comm_drift:.2%}  "
             f"efficiency delta={self.max_abs_efficiency_delta:.3f}"
         )
+        profiled = [r for r in self.records if r.term_residuals]
+        if profiled:
+            worst: dict = {}
+            for r in profiled:
+                for term, d in r.term_residuals.items():
+                    res = abs(d["residual"])
+                    if res > worst.get(term, -1.0):
+                        worst[term] = res
+            worst_term = max(worst, key=worst.get)
+            terms = "  ".join(
+                f"{term}={worst[term]:.2%}"
+                for term in ("compute", "latency", "bandwidth")
+                if term in worst
+            )
+            lines.append(
+                f"profiled term residuals (max |.|): {terms}  "
+                f"[worst: {worst_term}]"
+            )
         return "\n".join(lines)
 
 
@@ -311,6 +336,9 @@ class DriftMonitor:
             words = getattr(breakdown, "words_sent", None)
             if words is not None:
                 words_measured = int(np.asarray(words).sum())
+        term_residuals = None
+        if getattr(breakdown, "pe_spans", None) is not None:
+            term_residuals = self._term_residuals(breakdown)
         record = DriftRecord(
             step=int(step),
             measured=PhaseBreakdown(
@@ -321,6 +349,7 @@ class DriftMonitor:
             modeled=self.modeled,
             words_measured=words_measured,
             words_scheduled=self.words_scheduled,
+            term_residuals=term_residuals,
         )
         self.records.append(record)
         reg = get_registry()
@@ -334,6 +363,38 @@ class DriftMonitor:
                 "last measured-minus-modeled efficiency",
             ).set(record.efficiency_delta)
         return record
+
+    def _term_residuals(self, trace) -> dict:
+        """Profiler buckets vs the model's per-term predictions.
+
+        The analytic model splits a superstep into compute
+        (``max_i F_i T_f r``), latency (``B_max T_l``) and bandwidth
+        (``C_max T_w r``); the profiler's buckets measure the same
+        three terms directly (compute + imbalance is the slowest-PE
+        product time, matching the model's ``max_i``), so a drifting
+        prediction is localized to the term that drifted.
+        """
+        from repro.profile.critical_path import analyze_superstep
+
+        buckets = analyze_superstep(trace).buckets
+        modeled = {
+            "compute": self.modeled.t_comp,
+            "latency": self.schedule.b_max * self.machine.tl,
+            "bandwidth": self.schedule.c_max * self.machine.tw * self.rhs,
+        }
+        measured = {
+            "compute": buckets["compute"] + buckets["imbalance"],
+            "latency": buckets["latency"],
+            "bandwidth": buckets["bandwidth"],
+        }
+        return {
+            term: {
+                "measured": measured[term],
+                "modeled": modeled[term],
+                "residual": _relative(measured[term], modeled[term]),
+            }
+            for term in ("compute", "latency", "bandwidth")
+        }
 
     # A DriftMonitor is a TraceSink.
     __call__ = observe

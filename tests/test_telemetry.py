@@ -537,3 +537,131 @@ class TestZeroOverheadContract:
             v for _, v in words.series()
         ) > 0
         assert reg.gauge("repro_smvp_num_pes").value() == 4
+
+
+class TestRegistryEdgeCases:
+    def test_histogram_exact_bucket_upper_bound(self):
+        # Prometheus `le` semantics: a value equal to a bound counts
+        # inside that bound's bucket, not the next one.
+        h = MetricsRegistry().histogram("repro_t", buckets=(0.1, 1.0))
+        h.observe(0.1)
+        h.observe(1.0)
+        assert h.counts == [1, 1, 0]
+        assert h.cumulative_counts() == [1, 2, 2]
+
+    def test_empty_registry_exports(self):
+        reg = MetricsRegistry()
+        assert render_prometheus(reg).strip() == ""
+        snap = json.loads(render_snapshot_json(reg))
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+        # An empty registry also exports an empty (but valid) timeline.
+        doc = chrome_trace(registry=reg)
+        assert doc["traceEvents"] == []
+
+    def test_use_registry_is_reentrant(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        with use_registry(outer):
+            count("repro_reentrant_total")
+            with use_registry(inner):
+                assert get_registry() is inner
+                count("repro_reentrant_total")
+            # The outer registry is restored, not cleared.
+            assert get_registry() is outer
+            count("repro_reentrant_total")
+        assert get_registry() is None
+        assert outer.counter("repro_reentrant_total").total == 2
+        assert inner.counter("repro_reentrant_total").total == 1
+
+    def test_use_registry_restores_on_exception(self):
+        outer = MetricsRegistry()
+        with use_registry(outer):
+            with pytest.raises(RuntimeError):
+                with use_registry(MetricsRegistry()):
+                    raise RuntimeError("boom")
+            assert get_registry() is outer
+
+
+class TestProfiledTimeline:
+    @pytest.fixture(scope="class")
+    def profiled_overlap_log(self, demo_mesh, demo_materials):
+        from repro.smvp.trace import TraceLog as _TraceLog
+
+        partition = partition_mesh(demo_mesh, 4)
+        log = _TraceLog()
+        smvp = DistributedSMVP(
+            demo_mesh,
+            partition,
+            demo_materials,
+            backend="overlap",
+            trace_sink=log,
+            profile=True,
+        )
+        x = np.random.default_rng(0).standard_normal(
+            3 * demo_mesh.num_nodes
+        )
+        try:
+            smvp.multiply(x)
+        finally:
+            smvp.close()
+        return log
+
+    def test_wire_thread_is_a_distinct_track(self, profiled_overlap_log):
+        from repro.telemetry.timeline import PE_TID_BASE, WIRE_TID
+
+        doc = chrome_trace(log=profiled_overlap_log)
+        events = doc["traceEvents"]
+        wire = [
+            e
+            for e in events
+            if e.get("ph") == "X" and e["tid"] == WIRE_TID
+        ]
+        assert wire
+        for e in wire:
+            assert e["name"].startswith("msg:")
+            assert e["args"]["words"] > 0
+            assert e["args"]["src"] != e["args"]["dst"]
+        names = [
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        ]
+        assert "wire" in names
+        # Per-PE tracks carry the actual compute spans.
+        pe_kinds = {
+            e["name"]
+            for e in events
+            if e.get("ph") == "X" and e["tid"] >= PE_TID_BASE
+        }
+        assert {"boundary", "interior"} <= pe_kinds
+
+    def test_validator_accepts_profiled_export(self, profiled_overlap_log):
+        validate_trace_events(
+            chrome_trace(log=profiled_overlap_log)["traceEvents"]
+        )
+
+    def test_validator_rejects_overlapping_spans_in_a_track(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0.0, "pid": 0, "tid": 7,
+             "dur": 10.0},
+            {"name": "b", "ph": "X", "ts": 5.0, "pid": 0, "tid": 7,
+             "dur": 10.0},
+        ]
+        with pytest.raises(ValueError, match="overlapping spans"):
+            validate_trace_events(events)
+        # Different tracks may overlap freely.
+        events[1]["tid"] = 8
+        validate_trace_events(events)
+        # Shared boundaries within a track are fine.
+        events[1]["tid"] = 7
+        events[1]["ts"] = 10.0
+        validate_trace_events(events)
+
+    def test_legacy_unprofiled_export_still_validates(self):
+        log = TraceLog()
+        log(make_trace(step=0))
+        log(make_trace(step=1))
+        validate_trace_events(chrome_trace(log=log)["traceEvents"])
