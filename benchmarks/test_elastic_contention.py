@@ -1,0 +1,138 @@
+"""Contention-aware cost oracle calibration on an sf10e PE sweep.
+
+Plants a contended machine (T3E constants plus a queue-search
+coefficient ``T_q``), "measures" barrier supersteps with the BSP
+simulator at p = 2, 4, 8, and fits both the uniform Eq. (2) machine
+and the contended one with :func:`fit_machine_contended`.  The
+acceptance criterion for the elastic-scale-out oracle is that the
+contention term reduces the Eq. (2) residual versus the uniform model
+on this sweep; the calibration record is archived under
+``benchmarks/output/BENCH_elastic.json``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.mesh.instances import get_instance
+from repro.model.machine import CRAY_T3E, Machine
+from repro.partition.base import partition_mesh
+from repro.simulate.bsp import BspSimulator
+from repro.smvp.distribution import DataDistribution
+from repro.smvp.schedule import CommSchedule
+from repro.telemetry.drift import (
+    contended_t_comm,
+    eq2_t_comm,
+    fit_machine_contended,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+INSTANCE = "sf10e"
+PE_SWEEP = (2, 4, 8)
+STEPS = 3
+
+#: Ground truth: T3E block constants plus a planted queue-search cost.
+#: The magnitude is chosen so the contention term is a visible fraction
+#: of T_comm at p = 8 (Q_max tens of messages) without dominating it.
+PLANTED = Machine(
+    name="t3e-contended",
+    tf=CRAY_T3E.tf,
+    tl=CRAY_T3E.tl,
+    tw=CRAY_T3E.tw,
+    tq=2e-7,
+)
+
+
+def _measure(mesh, p):
+    """Simulated barrier supersteps at one layout of the sweep."""
+    partition = partition_mesh(mesh, p, seed=0)
+    distribution = DataDistribution(mesh, partition)
+    schedule = CommSchedule(distribution)
+    flops = distribution.local_counts["flops"]
+    sim = BspSimulator(flops, schedule, PLANTED)
+    breakdowns = [sim.run("barrier", step=s) for s in range(STEPS)]
+    return breakdowns, flops, schedule
+
+
+def test_contention_fit_reduces_eq2_residual(emit):
+    inst = get_instance(INSTANCE)
+    mesh, _ = inst.build()
+
+    sweep = []
+    layouts = {}
+    for p in PE_SWEEP:
+        breakdowns, flops, schedule = _measure(mesh, p)
+        sweep.append((breakdowns, flops, schedule))
+        layouts[p] = (breakdowns, schedule)
+
+    fit = fit_machine_contended(sweep, name="sf10e-fit")
+
+    # Acceptance: the contention term explains measured T_comm the
+    # uniform Eq. (2) model cannot — the fit must not be worse, and on
+    # this planted sweep it must be strictly better.
+    assert fit.contended_residual <= fit.uniform_residual
+    assert fit.residual_reduction > 0.0
+    assert fit.machine.tq is not None and fit.machine.tq > 0.0
+    assert fit.samples == len(PE_SWEEP) * STEPS
+
+    per_p = {}
+    for p, (breakdowns, schedule) in sorted(layouts.items()):
+        measured = breakdowns[0].t_comm
+        uniform_pred = eq2_t_comm(schedule, fit.uniform_machine)
+        contended_pred = contended_t_comm(schedule, fit.machine)
+        per_p[str(p)] = {
+            "b_max": int(schedule.b_max),
+            "c_max": int(schedule.c_max),
+            "q_max": int(schedule.q_max),
+            "measured_t_comm": measured,
+            "uniform_t_comm": uniform_pred,
+            "contended_t_comm": contended_pred,
+            "uniform_error": abs(uniform_pred - measured),
+            "contended_error": abs(contended_pred - measured),
+        }
+        # The fitted oracle must track the planted machine more closely
+        # than the uniform model at every layout of the sweep.
+        assert per_p[str(p)]["contended_error"] <= (
+            per_p[str(p)]["uniform_error"] + 1e-12
+        )
+
+    record = {
+        "instance": INSTANCE,
+        "pe_sweep": list(PE_SWEEP),
+        "steps_per_layout": STEPS,
+        "samples": fit.samples,
+        "planted": {
+            "tl": PLANTED.tl,
+            "tw": PLANTED.tw,
+            "tq": PLANTED.tq,
+        },
+        "uniform": {
+            "tl": fit.uniform_machine.tl,
+            "tw": fit.uniform_machine.tw,
+            "residual_rms": fit.uniform_residual,
+        },
+        "contended": {
+            "tl": fit.machine.tl,
+            "tw": fit.machine.tw,
+            "tq": fit.machine.tq,
+            "residual_rms": fit.contended_residual,
+        },
+        "residual_reduction": fit.residual_reduction,
+        "per_p": per_p,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_elastic.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Contention-aware Eq.(2) calibration (sf10e, p = "
+        + ", ".join(str(p) for p in PE_SWEEP)
+        + ")",
+        f"  uniform   residual: {fit.uniform_residual:.3e} s RMS",
+        f"  contended residual: {fit.contended_residual:.3e} s RMS"
+        f"  (reduction {100.0 * fit.residual_reduction:.1f}%)",
+        f"  fitted tq: {fit.machine.tq:.3e} s"
+        f"  (planted {PLANTED.tq:.3e} s)",
+    ]
+    emit("BENCH_elastic", "\n".join(lines))

@@ -1479,6 +1479,8 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     from repro.resilience import (
         KillSchedule,
         RecoveryPolicy,
+        ScalePolicy,
+        parse_grow_schedule,
         render_chaos_report,
         run_chaos,
     )
@@ -1517,6 +1519,47 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         help="random kills to draw when --kill is not given",
+    )
+    parser.add_argument(
+        "--grow",
+        default=None,
+        metavar="STEP[:N][,...]",
+        help=(
+            "grow schedule 'superstep[:count][,superstep[:count]...]': "
+            "bring count fresh PEs online just before that superstep; "
+            "the exit code then also demands rejoin equivalence (a "
+            "fresh run from the grown layout matches bit for bit)"
+        ),
+    )
+    parser.add_argument(
+        "--readmit",
+        action="store_true",
+        help=(
+            "make growth rejoin previously evicted physical PEs after "
+            "the probation window instead of provisioning fresh "
+            "hardware (requires --grow; the readmitted PE keeps its "
+            "physical id and fault history); fails unless at least "
+            "one rejoin happened"
+        ),
+    )
+    parser.add_argument(
+        "--probation",
+        type=int,
+        default=8,
+        metavar="STEPS",
+        help=(
+            "supersteps an evicted or quarantined PE must sit out "
+            "before readmission (default: 8)"
+        ),
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "enable the autoscaling policy: the contention-aware cost "
+            "oracle may grow the run back after evictions (and shrink "
+            "a sustained under-utilized one)"
+        ),
     )
     parser.add_argument("--kernel", default="csr")
     parser.add_argument(
@@ -1635,6 +1678,26 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     policy = RecoveryPolicy(prefer_shadow=not args.no_shadow)
     if args.no_shadow and args.checkpoint_dir is None:
         parser.error("--no-shadow requires --checkpoint-dir")
+    grows = None
+    if args.grow:
+        try:
+            grows = parse_grow_schedule(args.grow)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.readmit and not grows:
+        parser.error("--readmit requires --grow")
+    if args.probation < 1:
+        parser.error("--probation must be at least 1")
+    scale_policy = None
+    if args.autoscale or args.readmit:
+        try:
+            scale_policy = ScalePolicy(
+                autoscale=args.autoscale,
+                probation_steps=args.probation,
+                readmit_evicted=args.readmit or args.autoscale,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
 
     report = run_chaos(
         instance=instance,
@@ -1653,6 +1716,9 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         flip_rate=args.flip,
         sticky=sticky,
         sticky_from=args.sticky_from,
+        grows=grows,
+        scale_policy=scale_policy,
+        readmit=args.readmit,
     )
     if args.json:
         payload = {
@@ -1696,6 +1762,25 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
             "clean_equivalent": report.clean_equivalent,
             "clean_max_abs_diff": report.clean_max_abs_diff,
             "sticky_evicted": report.sticky_evicted,
+            "grow_schedule": report.grow_schedule,
+            "grows": report.grows,
+            "readmissions": report.readmissions,
+            "grow_applied": report.grow_applied,
+            "readmit_ok": report.readmit_ok,
+            "scale_events": [
+                {
+                    "kind": e.kind,
+                    "superstep": e.superstep,
+                    "pe": e.pe,
+                    "num_pes_before": e.num_pes_before,
+                    "num_pes_after": e.num_pes_after,
+                    "migrated_words": e.migrated_words,
+                    "migrated_blocks": e.migrated_blocks,
+                    "readmitted": e.readmitted,
+                    "reason": e.reason,
+                }
+                for e in report.scale_events
+            ],
             "passed": report.passed,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -1711,6 +1796,8 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
                 ("SDC blame attribution", report.sdc_blame_correct),
                 ("fault-free bit-equivalence", report.clean_equivalent),
                 ("sticky PEs evicted", report.sticky_evicted),
+                ("scheduled grows applied", report.grow_applied),
+                ("evicted PE readmitted", report.readmit_ok),
             )
             if gate is False
         ]

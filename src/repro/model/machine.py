@@ -24,12 +24,22 @@ from repro import paperdata
 
 @dataclass(frozen=True)
 class Machine:
-    """A (T_f, T_l, T_w) machine model."""
+    """A (T_f, T_l, T_w[, T_q]) machine model.
+
+    ``T_q`` is the optional queue-search contention coefficient (Bienz,
+    Gropp & Olson): the paper's Eq. (2) charges every message the same
+    ``T_l + words * T_w``, but on real networks a PE receiving ``q``
+    messages in one exchange pays an extra queue-matching cost that
+    grows with the queue depth — modeled here as ``T_q * q_i**2`` per
+    PE.  ``None`` (the default for every preset) keeps the uniform
+    per-message model, bit-identical to the historical behavior.
+    """
 
     name: str
     tf: float  # seconds per flop
     tl: Optional[float] = None  # seconds per block
     tw: Optional[float] = None  # seconds per word
+    tq: Optional[float] = None  # seconds per squared queued message
 
     def __post_init__(self) -> None:
         if self.tf <= 0:
@@ -38,6 +48,13 @@ class Machine:
             raise ValueError("tl must be non-negative")
         if self.tw is not None and self.tw < 0:
             raise ValueError("tw must be non-negative")
+        if self.tq is not None and self.tq < 0:
+            raise ValueError("tq must be non-negative")
+
+    @property
+    def has_contention(self) -> bool:
+        """Whether the queue-contention coefficient ``T_q`` is set."""
+        return self.tq is not None
 
     @property
     def mflops(self) -> float:

@@ -18,13 +18,24 @@ die for good.  Four pieces:
   schedule, and continues bit-consistently on P-1 PEs.
 * :mod:`~repro.resilience.chaos` — seeded kill schedules and the
   survivor-equivalence proof harness (CLI: ``repro-chaos``).
+* :mod:`~repro.resilience.elastic` — the other direction: online PE
+  addition, the autoscaling grow/shrink/readmit policy, and the
+  contention-aware efficiency oracle behind it.
 """
 
 from repro.resilience.chaos import (
     ChaosReport,
     KillSchedule,
+    parse_grow_schedule,
     render_chaos_report,
     run_chaos,
+)
+from repro.resilience.elastic import (
+    GrowthMigration,
+    ScaleEvent,
+    ScalePolicy,
+    growth_migration_plan,
+    predicted_efficiency,
 )
 from repro.resilience.eviction import (
     MigrationSummary,
@@ -35,6 +46,7 @@ from repro.resilience.policy import (
     Escalation,
     HealthTracker,
     PEState,
+    PolicyConfigError,
     RecoveryPolicy,
 )
 from repro.resilience.shadow import (
@@ -53,18 +65,25 @@ __all__ = [
     "ChaosReport",
     "Escalation",
     "EvictionEvent",
+    "GrowthMigration",
     "HealthTracker",
     "KillSchedule",
     "MigrationSummary",
     "PEState",
+    "PolicyConfigError",
     "RecoveryPolicy",
     "ResumePoint",
     "STATE_WORDS_PER_NODE",
+    "ScaleEvent",
+    "ScalePolicy",
     "ShadowSegment",
     "ShadowStore",
     "SuperstepSupervisor",
     "SupervisorReport",
+    "growth_migration_plan",
     "migration_plan",
+    "parse_grow_schedule",
+    "predicted_efficiency",
     "render_chaos_report",
     "run_chaos",
     "splice_state",

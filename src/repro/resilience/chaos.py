@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.resilience.elastic import ScalePolicy
 from repro.resilience.policy import RecoveryPolicy
 from repro.resilience.supervisor import (
     EvictionEvent,
@@ -96,6 +97,35 @@ class KillSchedule:
         return ",".join(f"{step}:{pe}" for step, pe in self.kills)
 
 
+def parse_grow_schedule(spec: str) -> Dict[int, int]:
+    """Parse ``"step[:count][,step[:count]...]"``, e.g. ``"24"`` or
+    ``"10:2,30"`` — a bare step grows by one PE."""
+    out: Dict[int, int] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            if ":" in token:
+                step_text, count_text = token.split(":")
+                step, count = int(step_text), int(count_text)
+            else:
+                step, count = int(token), 1
+        except ValueError:
+            raise ValueError(
+                f"bad grow token {token!r}; expected 'superstep[:count]'"
+            ) from None
+        if step < 0 or count < 1:
+            raise ValueError(
+                f"bad grow token {token!r}; step must be non-negative "
+                "and count positive"
+            )
+        out[step] = out.get(step, 0) + count
+    if not out:
+        raise ValueError("empty grow schedule")
+    return out
+
+
 @dataclass
 class ChaosReport:
     """Outcome of one chaos run, equivalence proof included."""
@@ -130,10 +160,23 @@ class ChaosReport:
     clean_max_abs_diff: Optional[float] = None
     #: Sticky (bad-core) PEs all ended the run evicted.
     sticky_evicted: Optional[bool] = None
+    #: Elastic scale-out accounting.
+    grow_schedule: str = "none"
+    grows: int = 0
+    readmissions: int = 0
+    #: Every scheduled grow actually reconfigured the run.
+    grow_applied: Optional[bool] = None
+    #: ``--readmit`` runs only: at least one previously evicted
+    #: physical PE rejoined (same physical id, fault history intact).
+    readmit_ok: Optional[bool] = None
 
     @property
     def evictions(self) -> List[EvictionEvent]:
         return self.supervisor.evictions if self.supervisor else []
+
+    @property
+    def scale_events(self):
+        return self.supervisor.scale_events if self.supervisor else []
 
     @property
     def passed(self) -> bool:
@@ -149,6 +192,8 @@ class ChaosReport:
             self.sdc_blame_correct,
             self.clean_equivalent,
             self.sticky_evicted,
+            self.grow_applied,
+            self.readmit_ok,
         ]
         return all(g for g in gates if g is not None) if any(
             g is not None for g in gates
@@ -173,6 +218,9 @@ def run_chaos(
     sticky: Tuple[int, ...] = (),
     sticky_from: int = 0,
     abft: Optional[bool] = None,
+    grows: Optional[Dict[int, int]] = None,
+    scale_policy: Optional[ScalePolicy] = None,
+    readmit: bool = False,
 ) -> ChaosReport:
     """Run a supervised simulation under a kill schedule and verify.
 
@@ -197,6 +245,15 @@ def run_chaos(
     detected and blamed to the right (superstep, physical PE), nothing
     escaped, and — when no eviction reshaped the partition — the healed
     final state bit-identical to a fault-free reference run.
+
+    ``grows`` schedules online PE additions (``{superstep: count}``);
+    the run must then prove rejoin equivalence too — the last resume
+    point (from the last kill *or* grow) relaunches fresh at the grown
+    layout and must match to the bit.  ``readmit`` requires ``grows``
+    and makes growth rejoin previously evicted physical PEs after the
+    scale policy's probation window (defaulting to
+    ``ScalePolicy(autoscale=False)`` when none is given); the run
+    fails unless at least one rejoin happened.
     """
     from repro.faults import CheckpointManager, FaultConfig, FaultInjector
     from repro.fem import (
@@ -228,6 +285,14 @@ def run_chaos(
         )
     use_abft = bool(abft) if abft is not None else sdc_configured
     machine = MACHINES[machine_name] if machine_name else None
+    if readmit:
+        if not grows:
+            raise ValueError(
+                "--readmit needs a grow schedule: an evicted PE can "
+                "only rejoin through a scheduled growth"
+            )
+        if scale_policy is None:
+            scale_policy = ScalePolicy(autoscale=False)
 
     inst = get_instance(instance)
     mesh, _ = inst.build()
@@ -276,6 +341,8 @@ def run_chaos(
         policy=policy,
         checkpoints=checkpoints,
         kill_schedule=kills.as_mapping(),
+        grow_schedule=grows,
+        scale_policy=scale_policy,
         machine=machine,
     )
     try:
@@ -305,7 +372,22 @@ def run_chaos(
         sdc_recomputed=sdc_stats.recomputed_sdc,
         sdc_scrubbed=sdc_stats.repaired_blocks,
         sdc_escaped=sdc_stats.escaped_sdc,
+        grow_schedule=(
+            ",".join(f"{s}:{n}" for s, n in sorted(grows.items()))
+            if grows
+            else "none"
+        ),
+        grows=len(sup_report.grows),
+        readmissions=len(sup_report.readmissions),
     )
+    if grows:
+        scheduled_total = sum(grows.values())
+        report.grow_applied = (
+            sum(1 for e in sup_report.grows if e.reason == "scheduled")
+            == scheduled_total
+        )
+    if readmit:
+        report.readmit_ok = any(e.readmitted for e in sup_report.grows)
     if sdc_configured:
         injected_sites = {
             (e.step, e.physical_pe)
@@ -423,6 +505,25 @@ def render_chaos_report(report: ChaosReport) -> List[str]:
             f"beta {event.delta.beta_before:.3f} -> "
             f"{event.delta.beta_after:.3f}"
         )
+    if report.grow_schedule != "none" or report.scale_events:
+        lines.append(
+            f"grow schedule: {report.grow_schedule}; "
+            f"grows: {report.grows}; "
+            f"readmissions: {report.readmissions}"
+        )
+    for event in report.scale_events:
+        rejoined = " (rejoined)" if event.readmitted else ""
+        detail = ""
+        if event.kind == "grow":
+            detail = (
+                f"; migrated {event.migrated_words} words in "
+                f"{event.migrated_blocks} blocks"
+            )
+        lines.append(
+            f"  superstep {event.superstep}: {event.kind} PE "
+            f"{event.pe}{rejoined} ({event.num_pes_before} -> "
+            f"{event.num_pes_after} PEs) [{event.reason}]{detail}"
+        )
     sup = report.supervisor
     if sup is not None:
         lines.append(
@@ -454,6 +555,12 @@ def render_chaos_report(report: ChaosReport) -> List[str]:
     if report.sticky_evicted is not None:
         verdict = "PASS" if report.sticky_evicted else "FAIL"
         lines.append(f"sticky PEs evicted: {verdict}")
+    if report.grow_applied is not None:
+        verdict = "PASS" if report.grow_applied else "FAIL"
+        lines.append(f"scheduled grows applied: {verdict}")
+    if report.readmit_ok is not None:
+        verdict = "PASS" if report.readmit_ok else "FAIL"
+        lines.append(f"evicted PE readmitted: {verdict}")
     if report.clean_equivalent is not None:
         verdict = "PASS" if report.clean_equivalent else "FAIL"
         lines.append(

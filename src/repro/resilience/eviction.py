@@ -62,11 +62,14 @@ def splice_state(
     """
     mesh = old_distribution.mesh
     n = mesh.num_nodes
-    if u.shape != (3 * n,) or u_prev.shape != (3 * n,):
-        raise ValueError("state vectors must have length 3 * num_nodes")
+    # 1-D vector state, or a (3n, r) block of scenario columns — the
+    # splice is row-wise either way (every column of a shadowed row
+    # was captured together).
+    if u.shape[0] != 3 * n or u.shape != u_prev.shape or u.ndim > 2:
+        raise ValueError("state vectors must have 3 * num_nodes rows")
     covered = np.zeros(n, dtype=bool)
-    out_u = np.full(3 * n, np.nan)
-    out_prev = np.full(3 * n, np.nan)
+    out_u = np.full(u.shape, np.nan)
+    out_prev = np.full(u_prev.shape, np.nan)
     dof3 = np.arange(3)
     for pe in range(old_distribution.num_parts):
         if pe == dead_pe:

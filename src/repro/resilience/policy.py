@@ -26,6 +26,16 @@ from enum import Enum
 from typing import List, Optional
 
 
+class PolicyConfigError(ValueError):
+    """A policy dataclass was constructed with inconsistent thresholds.
+
+    Subclasses :class:`ValueError` so call sites that predate the typed
+    error (and tests written against them) keep working; new code
+    should catch this type to distinguish configuration mistakes from
+    runtime value errors.
+    """
+
+
 class PEState(Enum):
     """Lifecycle of one PE under supervision."""
 
@@ -81,13 +91,15 @@ class RecoveryPolicy:
 
     def __post_init__(self) -> None:
         if self.quarantine_after < 1:
-            raise ValueError("quarantine_after must be at least 1")
+            raise PolicyConfigError("quarantine_after must be at least 1")
         if self.evict_after < self.quarantine_after:
-            raise ValueError("evict_after must be >= quarantine_after")
+            raise PolicyConfigError(
+                "evict_after must be >= quarantine_after"
+            )
         if self.max_evictions is not None and self.max_evictions < 0:
-            raise ValueError("max_evictions must be non-negative")
+            raise PolicyConfigError("max_evictions must be non-negative")
         if self.recovery_budget is not None and self.recovery_budget < 1:
-            raise ValueError("recovery_budget must be positive")
+            raise PolicyConfigError("recovery_budget must be positive")
 
 
 class HealthTracker:
@@ -131,6 +143,36 @@ class HealthTracker:
     def mark_quarantined(self, pe: int) -> None:
         self._check(pe)
         self.states[pe] = PEState.QUARANTINED
+
+    def add_pe(self) -> int:
+        """Register a freshly added PE; returns its original-id slot.
+
+        Elastic growth extends the health universe: the new PE starts
+        HEALTHY with no failure history.  A *readmitted* physical PE
+        also comes through here — its old slot stays EVICTED as the
+        permanent record of that incarnation, and the rejoined hardware
+        is tracked under a new original id (the physical id, which keys
+        the fault streams, is what persists across the rejoin).
+        """
+        pe = self.num_pes
+        self.num_pes += 1
+        self.consecutive_failures.append(0)
+        self.total_failures.append(0)
+        self.states.append(PEState.HEALTHY)
+        return pe
+
+    def readmit(self, pe: int) -> None:
+        """Return a quarantined PE to full service.
+
+        Clears the streak that put it in quarantine (its probation was
+        served over the verified path) but keeps ``total_failures`` —
+        blame ties should still break against a historically flaky PE.
+        """
+        self._check(pe)
+        if self.states[pe] is not PEState.QUARANTINED:
+            raise ValueError(f"PE {pe} is not quarantined")
+        self.consecutive_failures[pe] = 0
+        self.states[pe] = PEState.HEALTHY
 
     def mark_evicted(self, pe: int) -> None:
         self._check(pe)

@@ -255,11 +255,23 @@ class BspSimulator:
     # -- per-PE communication busy times ---------------------------------
 
     def _comm_busy(self) -> np.ndarray:
-        """B_i T_l + r C_i T_w for every PE."""
+        """B_i T_l + r C_i T_w (+ T_q q_i^2 under contention) per PE.
+
+        With ``machine.tq`` set, each PE additionally pays the
+        queue-search cost of matching its ``q_i`` incoming messages
+        against a queue of the same depth — the Bienz et al. contention
+        correction.  Queue matching is per *message*, so the term does
+        not scale with the block width r.  ``tq=None`` (every preset)
+        leaves the busy times bit-identical to the uniform model.
+        """
         tl, tw = self.machine.tl, self._tw
-        return (
+        busy = (
             self.schedule.blocks_per_pe * tl + self.schedule.words_per_pe * tw
         )
+        if self.machine.tq is not None:
+            incoming = self.schedule.incoming_per_pe.astype(np.float64)
+            busy = busy + self.machine.tq * incoming * incoming
+        return busy
 
     # -- modes -------------------------------------------------------------
 

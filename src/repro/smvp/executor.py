@@ -436,6 +436,70 @@ class DistributedSMVP:
         count("repro_smvp_reconfigurations_total", dead_pe=dead_pe)
         return new, redistribution
 
+    def reconfigure_with(
+        self, physical_id: Optional[int] = None, target_size=None
+    ):
+        """Build the P+1 executor that continues after adding one PE.
+
+        The mirror of :meth:`reconfigure_without`: a fresh region is
+        peeled off the heaviest donors in BFS-affinity waves
+        (:func:`~repro.smvp.distribution.redistribute_after_addition`),
+        local matrices are reassembled, and the schedule, exchange
+        pairs, and gather maps are rebuilt for ``0 .. P`` — existing
+        PE ids are stable, so the quarantine set carries over
+        unchanged and the new PE joins unquarantined.  The new slot's
+        *physical* id defaults to one past the largest live id (fault
+        streams key on physical ids, so fresh hardware gets a fresh
+        fault history); pass an evicted PE's physical id to re-admit
+        that hardware, history and all.  The state vectors need no
+        splicing: growth loses no rows, every dof the new layout
+        scatters is already present in the global ``(u, u_prev)``.
+
+        Returns ``(new_executor, redistribution)``; the caller owns
+        closing both executors.
+        """
+        from repro.smvp.distribution import redistribute_after_addition
+
+        new_partition, redistribution = redistribute_after_addition(
+            self.mesh, self.partition, target_size=target_size
+        )
+        if physical_id is None:
+            physical_id = int(self.pe_ids.max()) + 1
+        new_ids = np.append(self.pe_ids, np.int64(physical_id))
+        new = DistributedSMVP(
+            self.mesh,
+            new_partition,
+            self.materials,
+            kernel=self.kernel,
+            injector=self.injector,
+            backend=self.backend_name,
+            trace_sink=self.trace_sink,
+            abft=self.abft_enabled,
+            pe_ids=new_ids,
+            sanitizer=self.sanitizer is not None,
+            profile=self.profile,
+        )
+        new._superstep = self._superstep
+        if self.sanitizer is not None:
+            new.sanitizer.adopt(self.sanitizer)
+        # Ids 0 .. P-1 are stable across a growth, so the circuit-broken
+        # set needs no remapping.
+        new._quarantined = self._quarantined
+        # Growth reassembles every local matrix from the authoritative
+        # element data, which scrubs live virtual K corruption exactly
+        # as an eviction does — close each fault's lifecycle.
+        for pe, corruption in sorted(self._k_corruption.items()):
+            self.sdc_stats.repaired_blocks += 1
+            self._note_sdc(
+                corruption.step, pe, "compute", "flip-k", "repaired",
+                "scrubbed by redistribution",
+            )
+        new.sdc_stats = self.sdc_stats
+        new.sdc_events = self.sdc_events
+        new.transport_stats = self.transport_stats
+        count("repro_smvp_reconfigurations_total", new_pe=redistribution.new_pe)
+        return new, redistribution
+
     def flops_per_pe(self) -> np.ndarray:
         """Actual F_i = 2 * nnz of each PE's local matrix."""
         return np.array([2 * k.nnz for k in self.local_matrices], dtype=np.int64)

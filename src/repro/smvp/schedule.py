@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -96,6 +96,23 @@ class CommSchedule:
         mat = self.word_matrix
         nonzero = mat > 0
         return (nonzero.sum(axis=0) + nonzero.sum(axis=1)).astype(np.int64)
+
+    @cached_property
+    def incoming_per_pe(self) -> np.ndarray:
+        """Messages *received* by each PE per exchange (its queue depth).
+
+        Every partial-sum block targeting a PE lands around the same
+        time, so this is the depth of the receive queue each incoming
+        message must be matched against — the quantity the queue-search
+        contention model of Bienz, Gropp & Olson charges for.  Equal to
+        half of ``blocks_per_pe`` (every pair exchanges both ways).
+        """
+        return (self.word_matrix > 0).sum(axis=0).astype(np.int64)
+
+    @property
+    def q_max(self) -> int:
+        """Maximum incoming messages queued at any PE per exchange."""
+        return int(self.incoming_per_pe.max()) if self.num_parts else 0
 
     @property
     def c_max(self) -> int:
@@ -175,12 +192,16 @@ class CommSchedule:
 @dataclass(frozen=True)
 class ScheduleDelta:
     """How the exchange schedule's model quantities moved across a
-    reconfiguration (e.g. a PE eviction).
+    reconfiguration (a PE eviction or an elastic PE addition).
 
     Evicting a PE concentrates its rows and its shared-node traffic on
     the survivors, so ``C_max``/``B_max`` typically *rise* even though
     a PE left — the delta quantifies that against Eq. (2) and the β
-    bound of :mod:`repro.stats.beta`.
+    bound of :mod:`repro.stats.beta`.  ``pairs_removed`` and
+    ``pairs_added`` count the communicating PE pairs that disappeared
+    and appeared (in the *after* numbering, via the caller's id map) —
+    both directions of the asymmetry, so a growth reconfiguration is
+    reported as faithfully as an eviction.
     """
 
     num_parts_before: int
@@ -193,16 +214,43 @@ class ScheduleDelta:
     total_words_after: int
     beta_before: float
     beta_after: float
+    q_max_before: int = 0
+    q_max_after: int = 0
+    pairs_removed: int = 0
+    pairs_added: int = 0
 
 
 def schedule_delta(
-    before: CommSchedule, after: CommSchedule
+    before: CommSchedule,
+    after: CommSchedule,
+    id_map: Optional[Dict[int, int]] = None,
 ) -> ScheduleDelta:
-    """Summarize the model-quantity shift between two schedules."""
+    """Summarize the model-quantity shift between two schedules.
+
+    ``id_map`` maps *before* PE ids to *after* ids (an eviction's
+    survivor map; identity for a growth, where numbering is stable).
+    Pairs with an endpoint absent from the map (the dead PE's links)
+    count as removed; pairs present only in the after schedule (regrown
+    adjacency, or the new PE's links) count as added.  ``None`` means
+    the identity map over the before ids.
+    """
     # Local import: stats builds on smvp's schedule quantities, so the
     # module-level direction must stay smvp <- stats.
     from repro.stats.beta import beta_bound
 
+    if id_map is None:
+        id_map = {pe: pe for pe in range(before.num_parts)}
+    mapped_before = set()
+    for a, b in before.distribution.pair_shared_nodes:
+        if a in id_map and b in id_map:
+            na, nb = id_map[a], id_map[b]
+            mapped_before.add((min(na, nb), max(na, nb)))
+    dropped = sum(
+        1
+        for a, b in before.distribution.pair_shared_nodes
+        if a not in id_map or b not in id_map
+    )
+    after_pairs = set(after.distribution.pair_shared_nodes)
     return ScheduleDelta(
         num_parts_before=before.num_parts,
         num_parts_after=after.num_parts,
@@ -214,4 +262,8 @@ def schedule_delta(
         total_words_after=after.total_words,
         beta_before=beta_bound(before.words_per_pe, before.blocks_per_pe),
         beta_after=beta_bound(after.words_per_pe, after.blocks_per_pe),
+        q_max_before=before.q_max,
+        q_max_after=after.q_max,
+        pairs_removed=dropped + len(mapped_before - after_pairs),
+        pairs_added=len(after_pairs - mapped_before),
     )

@@ -77,6 +77,13 @@ def modeled_breakdown(
         schedule.blocks_per_pe * machine.tl
         + schedule.words_per_pe * tw
     )
+    if machine.tq is not None:
+        # Queue-search contention (Bienz et al.): matching q_i incoming
+        # messages against a queue of depth q_i, per message — not per
+        # word, so the term is r-independent.  Mirrors the simulator's
+        # ``_comm_busy`` exactly, keeping sim-vs-model drift at zero.
+        incoming = schedule.incoming_per_pe.astype(np.float64)
+        busy = busy + machine.tq * incoming * incoming
     t_comm = float(busy.max()) if len(busy) else 0.0
     return PhaseBreakdown(
         t_comp=t_comp, t_comm=t_comm, t_smvp=t_comp + t_comm
@@ -96,6 +103,25 @@ def eq2_t_comm(schedule: CommSchedule, machine: Machine, rhs: int = 1) -> float:
     return schedule.b_max * machine.tl + schedule.c_max * (machine.tw * rhs)
 
 
+def contended_t_comm(
+    schedule: CommSchedule, machine: Machine, rhs: int = 1
+) -> float:
+    """Contention-corrected Eq. (2): ``B_max T_l + r C_max T_w + T_q Q_max^2``.
+
+    ``Q_max`` is the deepest receive queue any PE sees in one exchange
+    (:attr:`~repro.smvp.schedule.CommSchedule.q_max`).  Requires a
+    machine with ``tq`` set (fit one with
+    :func:`fit_machine_contended`).
+    """
+    if machine.tq is None:
+        raise ValueError(
+            f"machine {machine.name!r} has no contention coefficient tq; "
+            "fit one with fit_machine_contended"
+        )
+    q = float(schedule.q_max)
+    return eq2_t_comm(schedule, machine, rhs=rhs) + machine.tq * q * q
+
+
 @dataclass(frozen=True)
 class DriftThresholds:
     """Relative-drift bounds for :meth:`DriftReport.check`."""
@@ -103,6 +129,16 @@ class DriftThresholds:
     max_comp_drift: float = 0.25
     max_comm_drift: float = 0.25
     max_efficiency_delta: float = 0.10
+
+
+#: Tightened defaults for contention-aware machines: once the model
+#: accounts for queue contention, the residual it leaves unexplained
+#: should be smaller, so the monitor demands less slack.
+CONTENDED_THRESHOLDS = DriftThresholds(
+    max_comp_drift=0.25,
+    max_comm_drift=0.15,
+    max_efficiency_delta=0.08,
+)
 
 
 @dataclass(frozen=True)
@@ -315,7 +351,13 @@ class DriftMonitor:
         self.rhs = int(rhs)
         self.flops = np.asarray(flops_per_pe, dtype=np.float64)
         self.modeled = modeled_breakdown(self.flops, schedule, machine, rhs=rhs)
-        self.thresholds = thresholds or DriftThresholds()
+        # A contention-aware machine explains more of the measured comm
+        # time, so it is held to the tighter default bounds.
+        self.thresholds = thresholds or (
+            CONTENDED_THRESHOLDS
+            if machine.tq is not None
+            else DriftThresholds()
+        )
         self.beta = beta_bound(
             schedule.words_per_pe, schedule.blocks_per_pe
         )
@@ -436,3 +478,103 @@ def fit_machine(
     c_max = float(schedule.c_max)
     tw = mean_comm / c_max if c_max > 0 else 0.0
     return Machine(name=name, tf=tf, tl=0.0, tw=max(tw, 0.0))
+
+
+@dataclass(frozen=True)
+class ContentionFit:
+    """Outcome of a uniform-vs-contended machine calibration.
+
+    Both machines are fit by least squares over the same sweep of
+    measured supersteps at different PE counts; the uniform model is
+    nested inside the contended one (``tq = 0``), so
+    ``contended_residual <= uniform_residual`` whenever the contention
+    term explains any of the measured communication time.  Residuals
+    are RMS seconds of the per-superstep ``T_comm`` prediction error.
+    """
+
+    machine: Machine
+    uniform_machine: Machine
+    uniform_residual: float
+    contended_residual: float
+    samples: int
+
+    @property
+    def residual_reduction(self) -> float:
+        """Fraction of the uniform model's residual the contention
+        term removed (0 when the contended fit degenerated)."""
+        if self.uniform_residual <= 0:
+            return 0.0
+        return 1.0 - self.contended_residual / self.uniform_residual
+
+
+def _rms(residuals: np.ndarray) -> float:
+    return float(np.sqrt(np.mean(residuals * residuals)))
+
+
+def fit_machine_contended(
+    sweep,
+    name: str = "host-fit-contended",
+) -> ContentionFit:
+    """Fit (T_l, T_w, T_q) from measured supersteps across a PE sweep.
+
+    ``sweep`` is a sequence of ``(breakdowns, flops_per_pe, schedule)``
+    triples — one per PE count, each with the supersteps measured at
+    that layout.  The uniform model regresses the measured ``T_comm``
+    on ``(B_max, C_max)``; the contended model adds the queue-search
+    term ``Q_max**2`` (see :func:`contended_t_comm`).  A single-layout
+    sweep cannot separate the predictors (they are colinear at fixed
+    p), which is why the autoscaler's oracle is fit from a sweep and
+    not from one run.  Coefficients are clamped non-negative; if
+    clamping degrades the contended fit below the uniform one, the
+    contention term is dropped (``tq = 0``) so the contended model
+    never predicts worse than the uniform model it extends.
+    """
+    rows = []
+    targets = []
+    comp_rows = []
+    for breakdowns, flops_per_pe, schedule in sweep:
+        flops = np.asarray(flops_per_pe, dtype=np.float64)
+        f_max = float(flops.max()) if len(flops) else 0.0
+        q = float(schedule.q_max)
+        for b in breakdowns:
+            rows.append([float(schedule.b_max), float(schedule.c_max), q * q])
+            targets.append(float(b.t_comm))
+            if f_max > 0:
+                comp_rows.append(b.t_comp / f_max)
+    if not rows:
+        raise ValueError("need at least one measured superstep to fit")
+    design = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    tf = max(float(np.mean(comp_rows)) if comp_rows else 0.0, 1e-15)
+
+    def _solve(columns: np.ndarray) -> np.ndarray:
+        coef, *_ = np.linalg.lstsq(columns, y, rcond=None)
+        return np.maximum(coef, 0.0)
+
+    uniform_coef = _solve(design[:, :2])
+    uniform_residual = _rms(y - design[:, :2] @ uniform_coef)
+    contended_coef = _solve(design)
+    contended_residual = _rms(y - design @ contended_coef)
+    if contended_residual > uniform_residual:
+        contended_coef = np.append(uniform_coef, 0.0)
+        contended_residual = uniform_residual
+    uniform = Machine(
+        name=f"{name}-uniform",
+        tf=tf,
+        tl=float(uniform_coef[0]),
+        tw=float(uniform_coef[1]),
+    )
+    contended = Machine(
+        name=name,
+        tf=tf,
+        tl=float(contended_coef[0]),
+        tw=float(contended_coef[1]),
+        tq=float(contended_coef[2]),
+    )
+    return ContentionFit(
+        machine=contended,
+        uniform_machine=uniform,
+        uniform_residual=uniform_residual,
+        contended_residual=contended_residual,
+        samples=len(rows),
+    )

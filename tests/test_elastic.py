@@ -1,0 +1,663 @@
+"""Tests for elastic scale-out (repro.resilience.elastic).
+
+Covers the acceptance contract of the elastic subsystem:
+
+* deterministic BFS-affinity growth redistribution with full element
+  coverage and stable survivor ids,
+* online PE addition continuing bit-identically to a from-scratch run
+  at the grown layout — on every backend, with block right-hand sides,
+  and with ABFT checksums on,
+* evict -> grow -> evict round trips,
+* the autoscaling policy (typed config validation, probation
+  readmission, deficit-gated growth),
+* the contention-aware cost oracle (fit recovers a planted ``T_q``;
+  the contended residual never exceeds the uniform one),
+* scale-event telemetry and the ``repro-chaos --grow/--readmit`` CLI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_lumped_mass, assemble_stiffness
+from repro.fem.timestepper import ExplicitTimeStepper, stable_timestep
+from repro.model.machine import CRAY_T3E, MACHINES, Machine
+from repro.partition.base import Partition, partition_mesh
+from repro.resilience import (
+    GrowthMigration,
+    PolicyConfigError,
+    RecoveryPolicy,
+    ScalePolicy,
+    SuperstepSupervisor,
+    growth_migration_plan,
+    parse_grow_schedule,
+    predicted_efficiency,
+    run_chaos,
+)
+from repro.resilience.policy import HealthTracker, PEState
+from repro.smvp.backends import backend_names
+from repro.smvp.distribution import (
+    DataDistribution,
+    redistribute_after_addition,
+)
+from repro.smvp.executor import DistributedSMVP
+from repro.smvp.schedule import CommSchedule
+from repro.telemetry.drift import fit_machine_contended
+from repro.telemetry.registry import MetricsRegistry, use_registry
+
+BACKENDS = sorted(set(backend_names()))
+
+
+@pytest.fixture(scope="module")
+def demo_stiffness(demo_mesh, demo_materials):
+    return assemble_stiffness(demo_mesh, demo_materials)
+
+
+@pytest.fixture(scope="module")
+def demo_mass(demo_mesh, demo_materials):
+    return assemble_lumped_mass(demo_mesh, demo_materials)
+
+
+@pytest.fixture(scope="module")
+def demo_dt(demo_mesh, demo_materials):
+    return stable_timestep(demo_mesh, demo_materials)
+
+
+@pytest.fixture()
+def problem(demo_mesh, demo_stiffness, demo_mass, demo_dt):
+    force = np.zeros(3 * demo_mesh.num_nodes)
+    force[: min(300, force.size)] = 1e9
+    return demo_stiffness, demo_mass, demo_dt, (lambda t: force)
+
+
+def make_supervised(mesh, materials, problem, pes=5, rhs=1, **kwargs):
+    stiffness, mass, dt, force_at = problem
+    smvp = DistributedSMVP(
+        mesh, partition_mesh(mesh, pes), materials,
+        **{
+            k: kwargs.pop(k)
+            for k in ("backend", "abft", "injector")
+            if k in kwargs
+        },
+    )
+    stepper = ExplicitTimeStepper(
+        stiffness, mass, dt, smvp=smvp, rhs=rhs
+    )
+    supervisor = SuperstepSupervisor(stepper, **kwargs)
+    return stepper, supervisor, force_at
+
+
+def replay_from(rp, mesh, materials, problem, steps, rhs=1, **smvp_kwargs):
+    """Fresh run from a resume point: the bit-identity reference."""
+    stiffness, mass, dt, force_at = problem
+    partition = Partition(
+        rp.partition_parts.copy(), rp.num_parts, method="replay"
+    )
+    smvp = DistributedSMVP(
+        mesh, partition, materials, pe_ids=rp.pe_ids, **smvp_kwargs
+    )
+    try:
+        smvp.reset_superstep(rp.superstep)
+        for pe in sorted(rp.quarantined):
+            smvp.quarantine(pe)
+        stepper = ExplicitTimeStepper(
+            stiffness, mass, dt, smvp=smvp, rhs=rhs
+        )
+        stepper.set_state(rp.u, rp.u_prev, rp.step_index)
+        for _ in range(steps - rp.step_index):
+            stepper.step(force_at(stepper.time))
+        return stepper.u.copy(), stepper.u_prev.copy()
+    finally:
+        smvp.close()
+
+
+class TestScalePolicy:
+    def test_defaults_valid(self):
+        policy = ScalePolicy()
+        assert policy.autoscale and policy.readmit_evicted
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"grow_threshold": -0.1},
+            {"shrink_utilization": 0.0},
+            {"shrink_utilization": 1.0},
+            {"shrink_patience": 0},
+            {"probation_steps": 0},
+            {"evaluation_interval": 0},
+            {"cooldown_steps": -1},
+            {"max_grows": -1},
+        ],
+    )
+    def test_validation_raises_typed_error(self, bad):
+        with pytest.raises(PolicyConfigError):
+            ScalePolicy(**bad)
+        # PolicyConfigError IS-A ValueError: legacy call sites hold.
+        with pytest.raises(ValueError):
+            ScalePolicy(**bad)
+
+    def test_recovery_policy_raises_same_type(self):
+        with pytest.raises(PolicyConfigError):
+            RecoveryPolicy(quarantine_after=0)
+
+
+class TestHealthTrackerElastic:
+    def test_add_pe_extends_universe(self):
+        tracker = HealthTracker(3, RecoveryPolicy())
+        assert tracker.add_pe() == 3
+        assert tracker.num_pes == 4
+        assert tracker.states[3] is PEState.HEALTHY
+        tracker.record_failure(3)  # in range now
+
+    def test_readmit_clears_streak_keeps_history(self):
+        tracker = HealthTracker(3, RecoveryPolicy(quarantine_after=1))
+        tracker.record_failure(1)
+        assert tracker.states[1] is PEState.QUARANTINED
+        tracker.readmit(1)
+        assert tracker.states[1] is PEState.HEALTHY
+        assert tracker.consecutive_failures[1] == 0
+        assert tracker.total_failures[1] == 1
+
+    def test_readmit_requires_quarantine(self):
+        tracker = HealthTracker(3, RecoveryPolicy())
+        with pytest.raises(ValueError):
+            tracker.readmit(0)
+
+
+class TestAdditionRedistribution:
+    def test_deterministic_and_covering(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        new1, red1 = redistribute_after_addition(demo_mesh, partition)
+        new2, red2 = redistribute_after_addition(demo_mesh, partition)
+        assert np.array_equal(new1.parts, new2.parts)
+        assert red1 == red2
+        assert new1.num_parts == 5
+        # Every element still owned; the new PE got its target share.
+        loads = np.bincount(new1.parts, minlength=5)
+        assert loads.sum() == demo_mesh.num_elements
+        assert loads[4] == red1.moved_elements == red1.target_size
+        assert red1.target_size == demo_mesh.num_elements // 5
+        assert red1.waves >= 1 and red1.affinity_flops > 0
+
+    def test_survivor_ids_stable(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        new, red = redistribute_after_addition(demo_mesh, partition)
+        # Elements not moved keep their owner under the same id.
+        kept = new.parts != 4
+        assert np.array_equal(new.parts[kept], partition.parts[kept])
+        assert sum(red.donor_counts.values()) == red.moved_elements
+
+    def test_donors_never_dip_below_floor(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        new, _ = redistribute_after_addition(demo_mesh, partition)
+        floor = demo_mesh.num_elements // 5
+        loads = np.bincount(new.parts, minlength=5)
+        assert (loads[:4] >= floor).all()
+
+    def test_new_pe_is_connected_wavefront(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        new, _ = redistribute_after_addition(demo_mesh, partition)
+        # The peeled region shares nodes internally: its distribution
+        # must be buildable and every node of PE 4 resident there.
+        dist = DataDistribution(demo_mesh, new)
+        assert dist.local_nodes(4).size > 0
+
+    def test_target_size_validated(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        with pytest.raises(ValueError):
+            redistribute_after_addition(
+                demo_mesh, partition, target_size=0
+            )
+        with pytest.raises(ValueError):
+            redistribute_after_addition(
+                demo_mesh, partition, target_size=demo_mesh.num_elements
+            )
+
+
+class TestGrowthMigrationPlan:
+    def test_prices_new_pe_state(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        old = DataDistribution(demo_mesh, partition)
+        grown, _ = redistribute_after_addition(demo_mesh, partition)
+        new = DataDistribution(demo_mesh, grown)
+        plan = growth_migration_plan(old, new)
+        assert isinstance(plan, GrowthMigration)
+        assert plan.new_pe == 4
+        assert plan.migrated_words == 6 * new.local_nodes(4).size
+        assert 1 <= plan.migrated_blocks <= 4
+
+    def test_layout_mismatch_rejected(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 4)
+        dist = DataDistribution(demo_mesh, partition)
+        with pytest.raises(ValueError):
+            growth_migration_plan(dist, dist)
+
+
+class TestReconfigureWith:
+    def test_matches_fresh_executor_bitwise(
+        self, demo_mesh, demo_materials
+    ):
+        partition = partition_mesh(demo_mesh, 4)
+        x = np.linspace(-1.0, 1.0, 3 * demo_mesh.num_nodes)
+        with DistributedSMVP(
+            demo_mesh, partition, demo_materials
+        ) as old:
+            grown, red = old.reconfigure_with()
+            try:
+                y_grown = grown.multiply(x)
+                assert grown.num_parts == 5
+                assert np.array_equal(
+                    grown.pe_ids, np.array([0, 1, 2, 3, 4])
+                )
+                with DistributedSMVP(
+                    demo_mesh, grown.partition, demo_materials
+                ) as fresh:
+                    assert np.array_equal(y_grown, fresh.multiply(x))
+            finally:
+                grown.close()
+
+    def test_explicit_physical_id(self, demo_mesh, demo_materials):
+        partition = partition_mesh(demo_mesh, 3)
+        with DistributedSMVP(
+            demo_mesh, partition, demo_materials
+        ) as old:
+            grown, _ = old.reconfigure_with(physical_id=9)
+            try:
+                assert int(grown.pe_ids[-1]) == 9
+            finally:
+                grown.close()
+
+
+class TestSupervisedGrowth:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_grow_bit_identical_every_backend(
+        self, demo_mesh, demo_materials, problem, backend
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            backend=backend, grow_schedule={3: 1},
+        )
+        try:
+            report = sup.run(8, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        assert report.final_num_pes == 6
+        assert len(report.grows) == 1
+        [rp] = report.resume_points
+        u, u_prev = replay_from(
+            rp, demo_mesh, demo_materials, problem, 8, backend=backend
+        )
+        assert np.array_equal(u, stepper.u)
+        assert np.array_equal(u_prev, stepper.u_prev)
+
+    def test_grow_block_rhs16(self, demo_mesh, demo_materials, problem):
+        stiffness, mass, dt, force_at = problem
+        r = 16
+        stepper, sup, _ = make_supervised(
+            demo_mesh, demo_materials, problem,
+            rhs=r, grow_schedule={2: 1},
+        )
+        try:
+            report = sup.run(6, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        assert stepper.u.shape == (3 * demo_mesh.num_nodes, r)
+        [rp] = report.resume_points
+        assert rp.u.shape[1] == r
+        u, u_prev = replay_from(
+            rp, demo_mesh, demo_materials, problem, 6, rhs=r
+        )
+        assert np.array_equal(u, stepper.u)
+        assert np.array_equal(u_prev, stepper.u_prev)
+
+    def test_grow_with_abft_on(self, demo_mesh, demo_materials, problem):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            abft=True, grow_schedule={3: 1},
+        )
+        try:
+            report = sup.run(8, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        assert stepper.smvp.abft_enabled
+        [rp] = report.resume_points
+        u, _ = replay_from(
+            rp, demo_mesh, demo_materials, problem, 8, abft=True
+        )
+        assert np.array_equal(u, stepper.u)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_evict_grow_evict_round_trip(
+        self, demo_mesh, demo_materials, problem, backend
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            pes=6, backend=backend,
+            kill_schedule={2: 1, 6: 3}, grow_schedule={4: 1},
+        )
+        try:
+            report = sup.run(10, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        assert [e.superstep for e in report.evictions] == [2, 6]
+        assert [e.superstep for e in report.grows] == [4]
+        assert report.final_num_pes == 5
+        # Fresh PE took physical id 6; id stability across the dance.
+        assert 6 in stepper.smvp.pe_ids
+        rp = report.resume_points[-1]
+        u, u_prev = replay_from(
+            rp, demo_mesh, demo_materials, problem, 10, backend=backend
+        )
+        assert np.array_equal(u, stepper.u)
+        assert np.array_equal(u_prev, stepper.u_prev)
+
+    def test_grow_budget_enforced(self, demo_mesh, demo_materials, problem):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            grow_schedule={1: 1, 2: 1},
+            scale_policy=ScalePolicy(autoscale=False, max_grows=1),
+        )
+        try:
+            with pytest.raises(ValueError, match="growth budget"):
+                sup.run(4, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+
+
+class TestReadmission:
+    def test_evicted_physical_pe_rejoins(
+        self, demo_mesh, demo_materials, problem
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            pes=5, kill_schedule={1: 2}, grow_schedule={5: 1},
+            scale_policy=ScalePolicy(
+                autoscale=False, probation_steps=3
+            ),
+        )
+        try:
+            report = sup.run(8, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        [grow] = report.grows
+        assert grow.readmitted and grow.pe == 2
+        assert 2 in stepper.smvp.pe_ids
+        assert len(report.readmissions) == 1
+        rp = report.resume_points[-1]
+        u, _ = replay_from(rp, demo_mesh, demo_materials, problem, 8)
+        assert np.array_equal(u, stepper.u)
+
+    def test_fresh_hardware_inside_probation(
+        self, demo_mesh, demo_materials, problem
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            pes=5, kill_schedule={1: 2}, grow_schedule={3: 1},
+            scale_policy=ScalePolicy(
+                autoscale=False, probation_steps=8
+            ),
+        )
+        try:
+            report = sup.run(6, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        [grow] = report.grows
+        assert not grow.readmitted and grow.pe == 5  # max + 1
+
+    def test_chaos_readmit_gate(self):
+        from repro.resilience import KillSchedule
+
+        report = run_chaos(
+            instance="demo", pes=6, steps=10,
+            kills=KillSchedule(((2, 1),)), seed=3,
+            grows={8: 1}, readmit=True,
+            scale_policy=ScalePolicy(
+                autoscale=False, probation_steps=4
+            ),
+        )
+        assert report.readmit_ok is True
+        assert report.grow_applied is True
+        assert report.passed
+
+
+class TestAutoscale:
+    def test_grows_back_after_eviction(
+        self, demo_mesh, demo_materials, problem
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            pes=6, kill_schedule={1: 0},
+            machine=CRAY_T3E,
+            scale_policy=ScalePolicy(
+                grow_threshold=0.0, cooldown_steps=1,
+                probation_steps=2,
+            ),
+        )
+        try:
+            report = sup.run(8, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        # One PE died; the oracle saw the deficit and grew back.
+        assert len(report.grows) >= 1
+        grow = report.grows[0]
+        assert grow.predicted_efficiency_after is not None
+        assert (
+            grow.predicted_efficiency_after
+            >= grow.predicted_efficiency_before
+        )
+        rp = report.resume_points[-1]
+        u, _ = replay_from(rp, demo_mesh, demo_materials, problem, 8)
+        assert np.array_equal(u, stepper.u)
+
+    def test_no_growth_without_deficit(
+        self, demo_mesh, demo_materials, problem
+    ):
+        stepper, sup, force_at = make_supervised(
+            demo_mesh, demo_materials, problem,
+            machine=CRAY_T3E,
+            scale_policy=ScalePolicy(grow_threshold=0.0),
+        )
+        try:
+            report = sup.run(4, force_at=force_at)
+        finally:
+            stepper.smvp.close()
+        assert report.grows == []
+
+    def test_autoscale_requires_machine(
+        self, demo_mesh, demo_materials, problem
+    ):
+        with pytest.raises(ValueError, match="machine"):
+            make_supervised(
+                demo_mesh, demo_materials, problem,
+                scale_policy=ScalePolicy(),
+            )
+
+
+class TestContentionOracle:
+    def test_machine_tq_validated(self):
+        with pytest.raises(ValueError):
+            Machine(name="bad", tf=1e-9, tl=1e-6, tw=1e-8, tq=-1.0)
+        assert all(m.tq is None for m in MACHINES.values())
+
+    def test_predicted_efficiency_contention_costs(self, demo_mesh):
+        partition = partition_mesh(demo_mesh, 6)
+        dist = DataDistribution(demo_mesh, partition)
+        schedule = CommSchedule(dist)
+        flops = dist.local_counts["flops"]
+        uniform = Machine(name="u", tf=1e-9, tl=1e-6, tw=1e-8)
+        contended = Machine(
+            name="c", tf=1e-9, tl=1e-6, tw=1e-8, tq=1e-5
+        )
+        e_u = predicted_efficiency(flops, schedule, uniform)
+        e_c = predicted_efficiency(flops, schedule, contended)
+        assert 0 < e_c < e_u <= 1.0
+
+    def _sweep(self, mesh, machine, pes_list, copies=3):
+        from repro.telemetry.drift import modeled_breakdown
+
+        sweep = []
+        for p in pes_list:
+            dist = DataDistribution(mesh, partition_mesh(mesh, p))
+            schedule = CommSchedule(dist)
+            flops = dist.local_counts["flops"]
+            b = modeled_breakdown(flops, schedule, machine)
+            sweep.append(([b] * copies, flops, schedule))
+        return sweep
+
+    def test_fit_recovers_planted_tq_exactly(self, demo_mesh):
+        from types import SimpleNamespace
+
+        tf, tl, tw, tq = 1e-9, 2e-6, 3e-8, 4e-7
+        sweep = []
+        for p in [2, 4, 8]:
+            dist = DataDistribution(
+                demo_mesh, partition_mesh(demo_mesh, p)
+            )
+            schedule = CommSchedule(dist)
+            flops = dist.local_counts["flops"]
+            # Exact aggregate model: Eq.(2) + the queue-search term.
+            b = SimpleNamespace(
+                t_comp=tf * float(flops.max()),
+                t_comm=(
+                    schedule.b_max * tl
+                    + schedule.c_max * tw
+                    + tq * schedule.q_max**2
+                ),
+            )
+            sweep.append(([b, b], flops, schedule))
+        fit = fit_machine_contended(sweep)
+        assert fit.machine.tl == pytest.approx(tl, rel=1e-6)
+        assert fit.machine.tw == pytest.approx(tw, rel=1e-6)
+        assert fit.machine.tq == pytest.approx(tq, rel=1e-6)
+        assert fit.contended_residual <= fit.uniform_residual
+        # The uniform model cannot absorb the q**2 term: the planted
+        # contention shows up as a real residual reduction.
+        assert fit.residual_reduction > 0.5
+        assert fit.uniform_machine.tq is None
+        assert fit.samples == 6
+
+    def test_fit_on_contended_per_pe_sweep(self, demo_mesh):
+        planted = Machine(
+            name="planted", tf=1e-9, tl=2e-6, tw=3e-8, tq=4e-7
+        )
+        fit = fit_machine_contended(
+            self._sweep(demo_mesh, planted, [2, 4, 6, 8])
+        )
+        assert fit.contended_residual <= fit.uniform_residual
+        assert fit.machine.tq is not None and fit.machine.tq >= 0
+
+    def test_fit_contention_free_falls_back(self, demo_mesh):
+        fit = fit_machine_contended(
+            self._sweep(demo_mesh, CRAY_T3E, [2, 4, 8])
+        )
+        # Nested models: the contended fit can never be worse.
+        assert fit.contended_residual <= fit.uniform_residual
+
+    def test_fit_needs_data(self):
+        with pytest.raises(ValueError):
+            fit_machine_contended([])
+
+    def test_simulator_matches_model_with_contention(self, demo_mesh):
+        from repro.simulate.bsp import BspSimulator
+        from repro.telemetry.drift import contended_t_comm
+
+        machine = Machine(
+            name="c", tf=1e-9, tl=2e-6, tw=3e-8, tq=4e-7
+        )
+        dist = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 6))
+        schedule = CommSchedule(dist)
+        flops = dist.local_counts["flops"]
+        phases = BspSimulator(flops, schedule, machine).run("barrier")
+        # Aggregate Eq.(2)+contention bounds the exact per-PE max.
+        assert contended_t_comm(schedule, machine) >= phases.t_comm
+
+    def test_contended_t_comm_requires_tq(self, demo_mesh):
+        from repro.telemetry.drift import contended_t_comm
+
+        dist = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 4))
+        schedule = CommSchedule(dist)
+        with pytest.raises(ValueError):
+            contended_t_comm(schedule, CRAY_T3E)
+
+
+class TestScheduleContention:
+    def test_incoming_per_pe_counts_senders(self, demo_mesh):
+        dist = DataDistribution(demo_mesh, partition_mesh(demo_mesh, 6))
+        schedule = CommSchedule(dist)
+        incoming = schedule.incoming_per_pe
+        assert incoming.shape == (6,)
+        assert schedule.q_max == incoming.max()
+        # Word matrix is symmetric, so in-degree equals out-degree.
+        assert np.array_equal(
+            incoming, (schedule.word_matrix > 0).sum(axis=1)
+        )
+        assert schedule.q_max <= 5
+
+
+class TestScaleTelemetry:
+    def test_scale_events_recorded(
+        self, demo_mesh, demo_materials, problem
+    ):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            stepper, sup, force_at = make_supervised(
+                demo_mesh, demo_materials, problem,
+                grow_schedule={2: 1},
+            )
+            try:
+                sup.run(4, force_at=force_at)
+            finally:
+                stepper.smvp.close()
+        counters = registry.snapshot()["counters"]
+        assert counters["repro_scale_events_total"]["total"] == 1
+        [series] = counters["repro_scale_events_total"]["series"]
+        assert series["labels"]["kind"] == "grow"
+        assert (
+            counters["repro_scale_migrated_words_total"]["total"] > 0
+        )
+        gauges = registry.snapshot()["gauges"]
+        [pes_series] = gauges["repro_scale_num_pes"]["series"]
+        assert pes_series["value"] == 6
+        [step_series] = gauges["repro_scale_last_superstep"]["series"]
+        assert step_series["value"] == 2
+
+
+class TestChaosGrowCli:
+    def test_parse_grow_schedule(self):
+        assert parse_grow_schedule("10") == {10: 1}
+        assert parse_grow_schedule("10:2,30") == {10: 2, 30: 1}
+        with pytest.raises(ValueError):
+            parse_grow_schedule("")
+        with pytest.raises(ValueError):
+            parse_grow_schedule("x:1")
+        with pytest.raises(ValueError):
+            parse_grow_schedule("5:0")
+
+    def test_cli_grow_smoke(self, capsys):
+        from repro.cli import main_chaos
+
+        rc = main_chaos(
+            ["--smoke", "--kill", "2:1", "--grow", "5", "--json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"grow_applied": true' in out
+        assert '"survivor_equivalent": true' in out
+
+    def test_cli_readmit_requires_grow(self, capsys):
+        from repro.cli import main_chaos
+
+        with pytest.raises(SystemExit):
+            main_chaos(["--smoke", "--readmit"])
+
+    def test_cli_readmit_smoke(self, capsys):
+        from repro.cli import main_chaos
+
+        rc = main_chaos(
+            [
+                "--smoke", "--kill", "2:1", "--grow", "8",
+                "--readmit", "--probation", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evicted PE readmitted: PASS" in out

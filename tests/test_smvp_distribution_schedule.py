@@ -178,3 +178,72 @@ class TestBoundaryFlops:
         part = Partition(np.zeros(demo_mesh.num_elements, dtype=np.int32), 1)
         dist = DataDistribution(demo_mesh, part)
         assert dist.boundary_flops[0] == 0
+
+
+class TestScheduleDelta:
+    """ScheduleDelta must report both directions of a reconfiguration:
+    communicating pairs removed AND added, plus the contention depth."""
+
+    @pytest.fixture(scope="class")
+    def demo_schedules(self, demo_mesh):
+        from repro.smvp.distribution import (
+            redistribute_after_addition,
+            redistribute_after_eviction,
+        )
+
+        partition = partition_mesh(demo_mesh, 6, seed=0)
+        before = CommSchedule(DataDistribution(demo_mesh, partition))
+        grown, _ = redistribute_after_addition(demo_mesh, partition)
+        after_grow = CommSchedule(DataDistribution(demo_mesh, grown))
+        shrunk, red = redistribute_after_eviction(demo_mesh, partition, 2)
+        after_evict = CommSchedule(DataDistribution(demo_mesh, shrunk))
+        return before, after_grow, after_evict, red
+
+    def test_identity_delta_reports_no_pair_churn(self, demo_schedules):
+        from repro.smvp.schedule import schedule_delta
+
+        before, *_ = demo_schedules
+        delta = schedule_delta(before, before)
+        assert delta.pairs_removed == 0
+        assert delta.pairs_added == 0
+        assert delta.q_max_before == delta.q_max_after == before.q_max
+
+    def test_growth_adds_new_pe_pairs(self, demo_schedules):
+        from repro.smvp.schedule import schedule_delta
+
+        before, after_grow, *_ = demo_schedules
+        delta = schedule_delta(before, after_grow)
+        # Ids are stable under growth: the new PE's links are pure
+        # additions, and any removed pair means a donor boundary the
+        # peel dissolved.
+        new_pe = after_grow.num_parts - 1
+        new_pe_pairs = sum(
+            1
+            for a, b in after_grow.distribution.pair_shared_nodes
+            if new_pe in (a, b)
+        )
+        assert delta.pairs_added >= new_pe_pairs >= 1
+        assert delta.num_parts_after == delta.num_parts_before + 1
+        assert delta.q_max_after >= 1
+
+    def test_eviction_removes_dead_pe_pairs(self, demo_schedules):
+        from repro.smvp.schedule import schedule_delta
+
+        before, _, after_evict, red = demo_schedules
+        delta = schedule_delta(
+            before, after_evict, id_map=red.survivor_map
+        )
+        dead_pe_pairs = sum(
+            1
+            for a, b in before.distribution.pair_shared_nodes
+            if 2 in (a, b)
+        )
+        # Every dead-PE link is gone (plus any dissolved by regrowth).
+        assert delta.pairs_removed >= dead_pe_pairs >= 1
+        assert delta.num_parts_after == delta.num_parts_before - 1
+
+    def test_incoming_per_pe_matches_word_matrix(self, demo_dist):
+        schedule = CommSchedule(demo_dist)
+        expected = (schedule.word_matrix > 0).sum(axis=0)
+        assert np.array_equal(schedule.incoming_per_pe, expected)
+        assert schedule.q_max == int(expected.max())
